@@ -1,0 +1,127 @@
+// Fig. 9 — Performance comparison of the MD slave-core optimizations:
+// TraditionalTable -> CompactedTable -> +DataReuse -> +DoubleBuffer,
+// 2e7 atoms on 65..1040 master+slave cores in the paper.
+//
+// Here the four strategies run LIVE on the simulated core group; measured
+// wall time, DMA op/byte counters, and the alpha-beta-modeled Sunway time
+// are reported per strategy, then projected across the paper's core counts
+// (strong scaling of a fixed 2e7-atom box). Paper result to match in shape:
+// compacted tables ~54.7% faster (geo-mean), data reuse ~+4%, double buffer
+// ~no further gain.
+
+#include <array>
+
+#include "bench_common.h"
+#include "md/engine.h"
+#include "md/slave_force.h"
+#include "perf/scaling_model.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace mmd;
+
+int main() {
+  bench::title("Fig. 9", "MD table-optimization ladder on the simulated core group");
+
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.temperature = 400.0;
+  cfg.table_segments = 5000;  // authentic 39 KB / 273 KB table sizes
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+
+  constexpr std::array kStrategies = {
+      md::AccelStrategy::TraditionalTable, md::AccelStrategy::CompactedTable,
+      md::AccelStrategy::CompactedReuse, md::AccelStrategy::CompactedReuseDouble};
+
+  struct Result {
+    double wall_s = 0.0;
+    double modeled_s = 0.0;
+    sw::DmaStats dma;
+  };
+  std::array<Result, 4> results;
+
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    for (std::size_t s = 0; s < kStrategies.size(); ++s) {
+      md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+      sw::SlaveCorePool pool(64);
+      md::SlaveForceCompute kernel(tables, pool, kStrategies[s]);
+      engine.use_slave_kernel(&kernel);
+      engine.initialize(comm);
+      kernel.reset_stats();
+      util::Timer t;
+      engine.run(comm, 3);
+      results[s].wall_s = t.elapsed() / 3.0;
+      results[s].modeled_s = kernel.modeled_time() / 3.0;
+      results[s].dma = kernel.dma_stats();
+    }
+  });
+
+  std::printf("\n  %-40s %12s %14s %14s %14s\n", "strategy", "wall [ms]",
+              "DMA ops/step", "DMA MB/step", "modeled [ms]");
+  for (std::size_t s = 0; s < kStrategies.size(); ++s) {
+    const auto& r = results[s];
+    std::printf("  %-40s %12.2f %14.3g %14.2f %14.3f\n",
+                md::to_string(kStrategies[s]).c_str(), 1e3 * r.wall_s,
+                static_cast<double>(r.dma.total_ops()) / 3.0,
+                static_cast<double>(r.dma.total_bytes()) / 3.0 / 1e6,
+                1e3 * r.modeled_s);
+  }
+
+  // The paper's runtimes are dominated by per-op DMA latency on the real
+  // SW26010; on a host CPU the simulated DMA is a cheap memcpy, so the
+  // Sunway-shaped comparison is the MODELED column (measured compute +
+  // alpha-beta DMA cost), with wall time reported for transparency.
+  const double speedup =
+      (results[0].modeled_s - results[1].modeled_s) / results[0].modeled_s;
+  const double reuse_gain =
+      (results[1].modeled_s - results[2].modeled_s) / results[1].modeled_s;
+  const double dbl_gain =
+      (results[2].modeled_s - results[3].modeled_s) / results[2].modeled_s;
+  std::printf("\n");
+  bench::note("compacted vs traditional : %+.1f%% modeled  (paper: +54.7%% geo-mean)",
+              100.0 * speedup);
+  bench::note("+ data reuse             : %+.1f%% modeled  (paper: +4%% on average)",
+              100.0 * reuse_gain);
+  bench::note("+ double buffer          : %+.1f%% modeled; wall %+.1f%% "
+              "(paper: no obvious gain)",
+              100.0 * dbl_gain,
+              100.0 * (results[2].wall_s - results[3].wall_s) / results[2].wall_s);
+  bench::note("DMA op reduction         : %.0fx",
+              static_cast<double>(results[0].dma.total_ops()) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, results[1].dma.total_ops())));
+  bench::note("(the split between the table terms depends on the assumed per-op");
+  bench::note(" DMA latency, 0.25 us here; the ordering does not)");
+
+  // Project the modeled per-core-group time over the paper's core counts
+  // (strong scaling of a fixed 2e7-atom box, 65 cores per group).
+  std::printf("\n  Projected total runtime over the paper's core counts "
+              "(modeled, fixed 2e7 atoms):\n");
+  std::printf("  %10s", "cores");
+  for (const auto& s : kStrategies) {
+    std::printf(" %23s", md::to_string(s).substr(0, 23).c_str());
+  }
+  std::printf("\n");
+  perf::ScalingModel model;
+  const double atoms_per_group_ref =
+      static_cast<double>(setup.geo.num_sites());
+  for (const std::uint64_t cores : {65u, 130u, 260u, 520u, 1040u}) {
+    const auto groups = static_cast<double>(cores) / 65.0;
+    const double atoms_per_group = 2.0e7 / groups;
+    const double scale = atoms_per_group / atoms_per_group_ref;
+    std::printf("  %10s", bench::cores_str(cores).c_str());
+    for (std::size_t s = 0; s < kStrategies.size(); ++s) {
+      // Per-step modeled time scales with the per-group atom count; ~100
+      // steps, as a nominal cascade segment.
+      std::printf(" %23.1f", results[s].modeled_s * scale * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n  Shape check vs paper Fig. 9: Traditional slowest by a wide\n"
+              "  margin at every core count; Compacted captures nearly all of\n"
+              "  the gain; Reuse adds a little; DoubleBuffer adds ~nothing.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fig. 12 — KMC communication volume: traditional full-shell ghost exchange
+// vs the paper's on-demand strategy, 1.6e7 sites, vacancy concentration
+// 4.5e-5, 16..1024 master cores. Paper: on-demand volume is ~2.6% of the
+// traditional volume on average.
+//
+// Both strategies run LIVE here (downscaled box, same concentration); the
+// byte counters come from the actual exchanges, and equivalence of the final
+// configurations is verified in tests/test_kmc_engine.cpp.
+
+#include <mutex>
+
+#include "bench_common.h"
+#include "kmc/engine.h"
+#include "util/stats.h"
+
+using namespace mmd;
+
+namespace {
+
+kmc::GhostTraffic run(const kmc::KmcConfig& cfg, int nranks,
+                      kmc::GhostStrategy strategy, double concentration,
+                      int cycles) {
+  const kmc::KmcSetup setup(cfg, nranks);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  kmc::GhostTraffic total;
+  std::mutex m;
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    kmc::KmcEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank(), strategy);
+    engine.initialize_random(comm, concentration);
+    engine.ghost_comm().reset_traffic();  // exclude the init full refresh
+    engine.run_cycles(comm, cycles);
+    std::lock_guard lk(m);
+    total += engine.ghost_comm().traffic();
+  });
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Fig. 12",
+               "KMC communication volume: traditional vs on-demand "
+               "(C_v = 4.5e-5 in the paper)");
+
+  kmc::KmcConfig cfg;
+  cfg.table_segments = 500;
+  cfg.dt_scale = 2.0;
+  const double concentration = 4.5e-5;
+  const int cycles = 3;
+
+  std::printf("\n  Live volumes, %d cycles, paper concentration %.1e:\n", cycles,
+              concentration);
+  std::printf("  %8s %10s %18s %18s %12s %10s\n", "ranks", "sites",
+              "traditional [B]", "on-demand [B]", "ratio", "paper");
+  std::vector<double> ratios;
+  for (const auto& [nranks, cells] : std::vector<std::pair<int, int>>{
+           {2, 20}, {4, 24}, {8, 28}}) {
+    kmc::KmcConfig c = cfg;
+    c.nx = c.ny = c.nz = cells;
+    const auto trad = run(c, nranks, kmc::GhostStrategy::Traditional,
+                          concentration, cycles);
+    const auto ondemand = run(c, nranks, kmc::GhostStrategy::OnDemandOneSided,
+                              concentration, cycles);
+    const double ratio = trad.bytes_sent > 0
+                             ? static_cast<double>(ondemand.bytes_sent) /
+                                   static_cast<double>(trad.bytes_sent)
+                             : 0.0;
+    ratios.push_back(std::max(ratio, 1e-6));
+    std::printf("  %8d %10lld %18llu %18llu %11.2f%% %9s\n", nranks,
+                2ll * cells * cells * cells,
+                static_cast<unsigned long long>(trad.bytes_sent),
+                static_cast<unsigned long long>(ondemand.bytes_sent),
+                100.0 * ratio, "2.6%");
+  }
+  std::printf("\n");
+  bench::note("on-demand / traditional volume (geo-mean): %.2f%%  (paper: 2.6%%)",
+              100.0 * util::geometric_mean(ratios));
+  bench::note("the traditional scheme ships the whole sector ghost shell twice");
+  bench::note("per sector whether updated or not; on-demand ships only the");
+  bench::note("few sites events touched — at C_v = 4.5e-5 almost nothing.");
+
+  // The mechanism behind the ratio: traditional volume is fixed by the shell
+  // geometry, on-demand volume follows the number of update records. Shown
+  // per concentration; the traditional column does not move.
+  std::printf("\n  Sensitivity to vacancy concentration (4 ranks, 24^3 cells):\n");
+  std::printf("  %14s %18s %18s %12s\n", "C_v", "traditional [B]",
+              "on-demand [B]", "ratio");
+  for (const double cv : {4.5e-5, 5e-4, 5e-3}) {
+    kmc::KmcConfig c = cfg;
+    c.nx = c.ny = c.nz = 24;
+    const auto trad = run(c, 4, kmc::GhostStrategy::Traditional, cv, cycles);
+    const auto ondemand = run(c, 4, kmc::GhostStrategy::OnDemandOneSided, cv, cycles);
+    std::printf("  %14.1e %18llu %18llu %11.2f%%\n", cv,
+                static_cast<unsigned long long>(trad.bytes_sent),
+                static_cast<unsigned long long>(ondemand.bytes_sent),
+                100.0 * static_cast<double>(ondemand.bytes_sent) /
+                    static_cast<double>(std::max<std::uint64_t>(1, trad.bytes_sent)));
+  }
+  std::printf("\n");
+  bench::note("(event counts per cycle depend on the BKL clock, so the");
+  bench::note(" on-demand column tracks events, not concentration, exactly)");
+  return 0;
+}

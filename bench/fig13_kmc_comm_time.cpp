@@ -1,0 +1,123 @@
+// Fig. 13 — KMC communication time: traditional vs on-demand, 1.6e7 sites,
+// C_v = 4.5e-5, 16..1024 master cores. Paper: on-demand gives ~21x lower
+// communication time on average.
+//
+// Live runs provide measured in-process communication seconds AND per-cycle
+// message/byte counts; the alpha-beta network model converts the counts into
+// modeled times at the paper's core counts.
+
+#include <mutex>
+
+#include "bench_common.h"
+#include "kmc/engine.h"
+#include "perf/scaling_model.h"
+#include "util/stats.h"
+
+using namespace mmd;
+
+namespace {
+
+struct Cost {
+  kmc::GhostTraffic traffic;
+  double comm_seconds = 0.0;
+  std::uint64_t cycles = 0;
+};
+
+Cost run(int nranks, kmc::GhostStrategy strategy, int cells, double conc,
+         int cycles) {
+  kmc::KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = cells;
+  cfg.table_segments = 500;
+  cfg.dt_scale = 2.0;
+  const kmc::KmcSetup setup(cfg, nranks);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  Cost cost;
+  std::mutex m;
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    kmc::KmcEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank(), strategy);
+    engine.initialize_random(comm, conc);
+    engine.ghost_comm().reset_traffic();
+    engine.run_cycles(comm, cycles);
+    const double comm_s = comm.allreduce_max(engine.communication_seconds());
+    std::lock_guard lk(m);
+    cost.traffic += engine.ghost_comm().traffic();
+    if (comm.rank() == 0) {
+      cost.comm_seconds = comm_s;
+      cost.cycles = engine.stats().cycles;
+    }
+  });
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Fig. 13", "KMC communication time: traditional vs on-demand");
+
+  const int cells = 24;
+  const double conc = 4.5e-5;
+  const int cycles = 3;
+  const int nranks = 4;
+
+  const Cost trad = run(nranks, kmc::GhostStrategy::Traditional, cells, conc, cycles);
+  const Cost ondemand =
+      run(nranks, kmc::GhostStrategy::OnDemandOneSided, cells, conc, cycles);
+
+  std::printf("\n  Live measurement (%d ranks, %d^3 cells, C_v = %.1e):\n", nranks,
+              cells, conc);
+  std::printf("  %-24s %14s %14s %16s\n", "strategy", "msgs/cycle",
+              "bytes/cycle", "comm time [ms]");
+  auto row = [&](const char* name, const Cost& c) {
+    std::printf("  %-24s %14.1f %14.1f %16.3f\n", name,
+                static_cast<double>(c.traffic.messages_sent) / cycles,
+                static_cast<double>(c.traffic.bytes_sent) / cycles,
+                1e3 * c.comm_seconds);
+  };
+  row("Traditional", trad);
+  row("On-demand (one-sided)", ondemand);
+
+  // Project per-rank, per-cycle comm cost at the paper's scale: 1.6e7 sites
+  // over `cores` master cores (1 rank each). Traditional shell volume scales
+  // with the subdomain surface; on-demand volume with the vacancies per rank.
+  perf::ScalingModel model;
+  std::printf("\n  Modeled communication time per cycle at the paper's scale\n");
+  std::printf("  (live traffic rescaled to 1.6e7 sites, alpha-beta network):\n");
+  std::printf("  %8s %18s %18s %10s %10s\n", "cores", "traditional [us]",
+              "on-demand [us]", "speedup", "paper");
+  std::vector<double> speedups;
+  const double sites_per_rank_live =
+      2.0 * cells * cells * cells / static_cast<double>(nranks);
+  for (const std::uint64_t cores : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const std::uint64_t ranks = cores;
+    const double sites_per_rank = 1.6e7 / static_cast<double>(cores);
+    const double surf = std::pow(sites_per_rank / sites_per_rank_live, 2.0 / 3.0);
+    const double vol = sites_per_rank / sites_per_rank_live;
+    const double per_rank_msgs_t =
+        static_cast<double>(trad.traffic.messages_sent) / nranks / cycles;
+    const double per_rank_bytes_t =
+        static_cast<double>(trad.traffic.bytes_sent) / nranks / cycles * surf;
+    const double per_rank_msgs_o = std::max(
+        1.0, static_cast<double>(ondemand.traffic.messages_sent) / nranks / cycles);
+    const double per_rank_bytes_o =
+        static_cast<double>(ondemand.traffic.bytes_sent) / nranks / cycles * vol;
+    const double t_trad = model.network().p2p_time(
+        static_cast<std::uint64_t>(per_rank_msgs_t),
+        static_cast<std::uint64_t>(per_rank_bytes_t), ranks);
+    const double t_od = model.network().p2p_time(
+        static_cast<std::uint64_t>(per_rank_msgs_o),
+        static_cast<std::uint64_t>(per_rank_bytes_o), ranks) +
+        model.network().collective_time(ranks);  // the one-sided fence
+    speedups.push_back(t_trad / t_od);
+    std::printf("  %8s %18.2f %18.2f %9.1fx %9s\n",
+                bench::cores_str(cores).c_str(), 1e6 * t_trad, 1e6 * t_od,
+                t_trad / t_od, "21x");
+  }
+  std::printf("\n");
+  bench::note("mean modeled speedup: %.1fx (paper: 21x on average)",
+              util::geometric_mean(speedups));
+  bench::note("measured in-process comm-time ratio: %.1fx",
+              trad.comm_seconds / std::max(1e-9, ondemand.comm_seconds));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation (paper §2.1.2 alternative + §5 future-work suggestion): alloy
+// tables do not all fit one 64 KB local store. Compare, per EAM table
+// lookup, the modeled cost of:
+//   (a) resident compacted table        (the paper's choice for the majority
+//                                        species — zero per-lookup traffic),
+//   (b) register-mesh sharded table     (the rejected-then-suggested layout:
+//                                        table split across the 64 CPEs,
+//                                        6-sample windows pulled one-sided),
+//   (c) per-lookup main-memory DMA      (window fetch, what a non-resident
+//                                        compact table costs),
+//   (d) traditional coefficient row DMA (the unoptimized baseline).
+
+#include <benchmark/benchmark.h>
+
+#include "potential/eam.h"
+#include "potential/sharded_table.h"
+#include "potential/table_access.h"
+#include "sunway/dma.h"
+#include "sunway/local_store.h"
+#include "util/rng.h"
+
+using namespace mmd;
+
+namespace {
+
+const pot::EamTableSet& tables() {
+  static const pot::EamTableSet t =
+      pot::EamTableSet::build(pot::EamModel::iron_copper(), 5000);
+  return t;
+}
+
+void BM_ShardedRegisterLookup(benchmark::State& state) {
+  sw::RegisterMesh mesh;
+  pot::ShardedTableAccess access(tables().f(0, 1), mesh, /*my_core=*/27);
+  util::Rng rng(5);
+  double x = 0;
+  for (auto _ : state) {
+    double v, d;
+    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+    x += v;
+  }
+  benchmark::DoNotOptimize(x);
+  const auto s = mesh.total_stats();
+  state.counters["mesh_msgs_per_lookup"] =
+      static_cast<double>(s.messages) / static_cast<double>(state.iterations());
+  state.counters["modeled_ns_per_lookup"] =
+      1e9 * mesh.modeled_time(27) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ShardedRegisterLookup);
+
+void BM_ResidentLookupBaseline(benchmark::State& state) {
+  sw::LocalStore store;
+  sw::DmaEngine dma;
+  pot::CompactTableAccess access(tables().f(0, 1), store, dma, true);
+  util::Rng rng(5);
+  double x = 0;
+  for (auto _ : state) {
+    double v, d;
+    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+    x += v;
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_ResidentLookupBaseline);
+
+void BM_MainMemoryWindowDma(benchmark::State& state) {
+  sw::LocalStore store(512);  // no residency possible
+  sw::DmaEngine dma;
+  pot::CompactTableAccess access(tables().f(0, 1), store, dma, true);
+  util::Rng rng(5);
+  double x = 0;
+  for (auto _ : state) {
+    double v, d;
+    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+    x += v;
+  }
+  benchmark::DoNotOptimize(x);
+  state.counters["modeled_ns_per_lookup"] =
+      1e9 * dma.modeled_time() / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MainMemoryWindowDma);
+
+void BM_TraditionalRowDma(benchmark::State& state) {
+  sw::DmaEngine dma;
+  pot::CoefficientTableAccess access(tables().phi_trad, dma);
+  util::Rng rng(5);
+  double x = 0;
+  for (auto _ : state) {
+    double v, d;
+    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+    x += v;
+  }
+  benchmark::DoNotOptimize(x);
+  state.counters["modeled_ns_per_lookup"] =
+      1e9 * dma.modeled_time() / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TraditionalRowDma);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Cascade damage study: sweep the primary-knock-on-atom (PKA) energy and
+// measure how many Frenkel pairs (vacancy + interstitial) each cascade
+// leaves behind, exercising the MD engine, the run-away linked lists, and
+// the defect census directly through the public API.
+//
+// This is the workload of the paper's MD stage ("MD simulates the defect
+// generation caused by cascade collision").
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/defects.h"
+#include "analysis/thermal.h"
+#include "md/engine.h"
+
+using namespace mmd;
+
+int main() {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 10;
+  cfg.temperature = 300.0;
+  cfg.table_segments = 2000;
+  const int nranks = 2;
+  const double duration_ps = 0.08;
+
+  const md::MdSetup setup(cfg, nranks);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+
+  std::printf("# Cascade damage vs PKA energy (%d^3 cells, %d atoms, %d ranks)\n",
+              cfg.nx, static_cast<int>(setup.geo.num_sites()), nranks);
+  std::printf("%12s %12s %14s %14s %14s %14s\n", "PKA [eV]", "vacancies",
+              "interstitials", "Frenkel <r>", "SIA clusters", "peak T [K]");
+
+  for (const double energy : {20.0, 40.0, 80.0, 160.0, 320.0}) {
+    md::DefectSummary defects;
+    double frenkel_mean = 0.0, peak_t = 0.0;
+    std::uint64_t sia_clusters = 0;
+    comm::World world(nranks);
+    world.run([&](comm::Comm& comm) {
+      md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+      engine.initialize(comm);
+      const lat::SiteCoord pka{5, 5, 5, 0};
+      engine.inject_pka(comm, setup.geo.site_id(pka), {1.0, 0.6, 0.3}, energy);
+      // Sample the thermal spike in the early ballistic phase...
+      engine.run_for(comm, 0.004);
+      const auto spike = analysis::thermal_profile(
+          engine.lattice(), cfg, setup.geo.position(pka), 12.0, 5);
+      const double core_t = comm.allreduce_max(spike.core_temperature());
+      // ...then let the cascade run to completion.
+      engine.run_for(comm, duration_ps - 0.004);
+      const auto d = engine.defects(comm);
+      const auto pairs = analysis::analyze_defects_global(comm, engine.lattice());
+      const auto sia = analysis::cluster_interstitials(engine.lattice());
+      const auto sia_n = comm.allreduce_sum_u64(sia.num_clusters);
+      if (comm.rank() == 0) {
+        defects = d;
+        frenkel_mean = pairs.separation.count() ? pairs.separation.mean() : 0.0;
+        sia_clusters = sia_n;
+        peak_t = core_t;
+      }
+    });
+    std::printf("%12.0f %12llu %14llu %14.2f %14llu %14.0f\n", energy,
+                static_cast<unsigned long long>(defects.vacancies),
+                static_cast<unsigned long long>(defects.interstitials),
+                frenkel_mean, static_cast<unsigned long long>(sia_clusters),
+                peak_t);
+  }
+  std::printf("\nHigher PKA energy -> more displaced atoms, as in collision\n"
+              "cascade physics; each vacancy row is matched by interstitials\n"
+              "stored in the lattice neighbor list's run-away chains.\n");
+  return 0;
+}

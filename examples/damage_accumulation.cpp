@@ -1,0 +1,121 @@
+// Damage accumulation under sustained irradiation: the application workflow
+// the paper's coupled model exists for. Alternate cascade MD (new PKA each
+// dose step) with KMC annealing of the surviving vacancies, and track the
+// defect inventory and cluster population versus dose. Checkpointing
+// demonstrates restartable long campaigns; an XYZ trajectory records the
+// evolving vacancy field.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/defects.h"
+#include "io/checkpoint.h"
+#include "io/xyz.h"
+#include "kmc/clusters.h"
+#include "kmc/engine.h"
+#include "md/engine.h"
+
+using namespace mmd;
+
+int main() {
+  md::MdConfig md_cfg;
+  md_cfg.nx = md_cfg.ny = md_cfg.nz = 10;
+  md_cfg.temperature = 600.0;
+  md_cfg.table_segments = 1000;
+
+  kmc::KmcConfig kmc_cfg;
+  kmc_cfg.nx = md_cfg.nx;
+  kmc_cfg.ny = md_cfg.ny;
+  kmc_cfg.nz = md_cfg.nz;
+  kmc_cfg.temperature = md_cfg.temperature;
+  kmc_cfg.table_segments = 500;
+  kmc_cfg.dt_scale = 4.0;
+
+  const int nranks = 2;
+  const int dose_steps = 5;
+  const double pka_energy = 90.0;
+
+  const md::MdSetup md_setup(md_cfg, nranks);
+  const kmc::KmcSetup kmc_setup(kmc_cfg, nranks);
+  const auto md_tables = pot::EamTableSet::build(
+      pot::EamModel::iron(md_cfg.lattice_constant, md_cfg.cutoff),
+      md_cfg.table_segments);
+  const auto kmc_tables = pot::EamTableSet::build(
+      pot::EamModel::iron(kmc_cfg.lattice_constant, kmc_cfg.cutoff),
+      kmc_cfg.table_segments);
+
+  std::printf("# Damage accumulation: %d cascade+anneal dose steps, %d atoms\n",
+              dose_steps, 2 * md_cfg.nx * md_cfg.ny * md_cfg.nz);
+  std::printf("%6s %10s %10s %12s %12s %14s\n", "dose", "vacancies",
+              "clusters", "mean size", "max size", "Frenkel <r> [A]");
+
+  std::ofstream xyz("damage_accumulation.xyz");
+  std::vector<std::int64_t> surviving;  // vacancy inventory carried over doses
+
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    util::Rng pka_rng(1234);  // same stream on every rank
+    for (int dose = 1; dose <= dose_steps; ++dose) {
+      // --- cascade MD on a fresh crystal (the lattice relaxes between
+      // doses; carried-over damage re-enters through the KMC inventory) ---
+      md::MdEngine md_engine(md_cfg, md_setup.geo, md_setup.dd, md_tables,
+                             comm.rank());
+      md_engine.initialize(comm);
+      const auto site = static_cast<std::int64_t>(pka_rng.uniform_index(
+          static_cast<std::uint64_t>(md_setup.geo.num_sites())));
+      md_engine.inject_pka(comm, site, pka_rng.unit_vector(), pka_energy);
+      md_engine.run_for(comm, 0.06);
+      const auto frenkel = analysis::analyze_defects_global(comm, md_engine.lattice());
+
+      // --- merge the new vacancies into the surviving inventory ---
+      std::vector<std::int64_t> fresh;
+      for (const auto& v : md_engine.vacancies()) fresh.push_back(v.site_rank);
+
+      // --- KMC anneal of the combined inventory ---
+      kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, kmc_tables,
+                                comm.rank(), kmc::GhostStrategy::OnDemandOneSided);
+      std::vector<std::int64_t> seed = fresh;
+      for (std::int64_t gid : surviving) {
+        // set_state_global only affects images present on this rank.
+        seed.push_back(gid);
+      }
+      kmc_engine.initialize_sites(comm, seed);
+      kmc_engine.run_cycles(comm, 12);
+      const auto after = kmc_engine.gather_vacancies(comm);
+
+      // --- checkpoint the KMC state (restartable campaigns) ---
+      std::ostringstream ckpt;
+      io::Checkpoint::save_kmc(ckpt, kmc_engine.model(), kmc_engine.mc_time());
+
+      if (comm.rank() == 0) {
+        surviving = after;
+        const auto stats = kmc::cluster_vacancies(kmc_setup.geo, after);
+        std::printf("%6d %10llu %10llu %12.2f %12llu %14.2f\n", dose,
+                    static_cast<unsigned long long>(stats.num_vacancies),
+                    static_cast<unsigned long long>(stats.num_clusters),
+                    stats.mean_size,
+                    static_cast<unsigned long long>(stats.max_size),
+                    frenkel.separation.count() > 0 ? frenkel.separation.mean()
+                                                   : 0.0);
+        // One XYZ frame of the vacancy field per dose.
+        xyz << after.size() << "\n";
+        xyz << "dose " << dose << " vacancies\n";
+        for (std::int64_t gid : after) {
+          const util::Vec3 r =
+              kmc_setup.geo.position(kmc_setup.geo.site_coord(gid));
+          xyz << "X " << r.x << ' ' << r.y << ' ' << r.z << '\n';
+        }
+      }
+      // Broadcast the surviving inventory (held by rank 0 after the gather)
+      // to all ranks for the next dose.
+      surviving = comm.broadcast_from<std::int64_t>(0, surviving, 7000 + dose);
+    }
+  });
+
+  std::printf("\nVacancy inventory grows with dose while KMC annealing keeps\n"
+              "aggregating it into clusters — the microstructure evolution the\n"
+              "paper's large-scale runs resolve at 3.2e10 atoms.\n"
+              "Wrote damage_accumulation.xyz (one frame per dose step).\n");
+  return 0;
+}

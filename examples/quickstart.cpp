@@ -1,0 +1,37 @@
+// Quickstart: the whole coupled MD-KMC pipeline in ~20 lines of user code.
+//
+// A small BCC iron box is bombarded with two primary knock-on atoms; MD
+// evolves the cascade, the resulting vacancies are handed to KMC, which
+// evolves the damage at a much larger temporal scale. Finally the report
+// (defect census, cluster statistics, temporal scale) is printed.
+//
+// Build & run:   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/simulation.h"
+
+int main() {
+  mmd::core::SimulationConfig cfg;
+  cfg.md.nx = cfg.md.ny = cfg.md.nz = 10;   // 2000 atoms
+  cfg.md.temperature = 600.0;               // K (the paper's conditions)
+  cfg.md.table_segments = 2000;
+  cfg.md_time_ps = 0.06;                    // 60 fs of cascade MD
+  cfg.pka_count = 2;
+  cfg.pka_energy_ev = 80.0;
+  cfg.kmc_cycles = 30;
+  cfg.nranks = 4;                           // 4 message-passing ranks
+
+  std::printf("Running coupled MD-KMC damage simulation (%d^3 cells, %d ranks)...\n",
+              cfg.md.nx, cfg.nranks);
+  mmd::core::Simulation sim(cfg);
+  const mmd::core::SimulationReport report = sim.run();
+  std::printf("%s\n", mmd::core::to_string(report).c_str());
+
+  // The headline qualitative result of the paper's Fig. 17: after KMC the
+  // vacancies are more aggregated than right after the cascade.
+  std::printf("\nClustered vacancy fraction: %.1f%% after MD -> %.1f%% after KMC\n",
+              100.0 * report.clusters_after_md.clustered_fraction,
+              100.0 * report.clusters_after_kmc.clustered_fraction);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Vacancy clustering with KMC: start from a random (dispersed) vacancy
+// population — the state right after irradiation — and watch AKMC aggregate
+// it into clusters, reproducing the qualitative content of the paper's
+// Fig. 17 with quantitative cluster statistics and an ASCII density map.
+
+#include <cstdio>
+#include <vector>
+
+#include "kmc/clusters.h"
+#include "kmc/engine.h"
+
+using namespace mmd;
+
+namespace {
+
+/// Coarse ASCII projection of vacancy density onto the x-y plane.
+void print_density_map(const lat::BccGeometry& geo,
+                       const std::vector<std::int64_t>& vacancies) {
+  constexpr int W = 32, H = 16;
+  int grid[H][W] = {};
+  for (const std::int64_t gid : vacancies) {
+    const lat::SiteCoord c = geo.site_coord(gid);
+    const int gx = c.x * W / geo.nx();
+    const int gy = c.y * H / geo.ny();
+    ++grid[gy][gx];
+  }
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const char* shade = " .:*#@";
+      std::printf("%c", shade[std::min(grid[y][x], 5)]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  kmc::KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.table_segments = 1000;
+  cfg.dt_scale = 4.0;
+  const double concentration = 0.01;
+  const int nranks = 4;
+
+  const kmc::KmcSetup setup(cfg, nranks);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+
+  std::printf("# KMC vacancy clustering, %lld sites, C_v = %.3f, %d ranks\n",
+              static_cast<long long>(setup.geo.num_sites()), concentration,
+              nranks);
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "cycles", "events", "clusters",
+              "mean", "max", "clustered%");
+
+  std::vector<std::int64_t> final_vacs;
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    kmc::KmcEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank(),
+                          kmc::GhostStrategy::OnDemandOneSided);
+    engine.initialize_random(comm, concentration);
+    for (int checkpoint = 0; checkpoint <= 5; ++checkpoint) {
+      if (checkpoint > 0) engine.run_cycles(comm, 8);
+      const auto vacs = engine.gather_vacancies(comm);
+      const auto events = comm.allreduce_sum_u64(engine.stats().events);
+      if (comm.rank() == 0) {
+        const auto s = kmc::cluster_vacancies(setup.geo, vacs);
+        std::printf("%8llu %10llu %10llu %10.2f %10llu %11.1f%%\n",
+                    static_cast<unsigned long long>(engine.stats().cycles),
+                    static_cast<unsigned long long>(events),
+                    static_cast<unsigned long long>(s.num_clusters), s.mean_size,
+                    static_cast<unsigned long long>(s.max_size),
+                    100.0 * s.clustered_fraction);
+        if (checkpoint == 5) final_vacs = vacs;
+      }
+    }
+  });
+
+  std::printf("\nFinal vacancy density (x-y projection):\n");
+  print_density_map(setup.geo, final_vacs);
+  std::printf("\nMean cluster size grows as vacancies aggregate — the vacancy\n"
+              "cluster phenomenon the paper's simulation reveals.\n");
+  return 0;
+}

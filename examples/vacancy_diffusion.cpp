@@ -1,0 +1,91 @@
+// Vacancy diffusion with KMC: track vacancy trajectories across the MC
+// clock, estimate the diffusion coefficient from the mean-square
+// displacement, and sweep temperature to expose the Arrhenius behaviour
+// D ~ exp(-E_m / kB T) that the transition-rate model (paper Eq. 4) implies.
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "analysis/diffusion.h"
+#include "kmc/engine.h"
+#include "util/units.h"
+
+using namespace mmd;
+
+namespace {
+
+struct Point {
+  double temperature = 0.0;
+  double d_coeff = 0.0;       ///< [A^2/s]
+  std::uint64_t hops = 0;
+  double mc_time = 0.0;
+};
+
+Point run_at(double temperature) {
+  kmc::KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 12;
+  cfg.temperature = temperature;
+  cfg.table_segments = 500;
+  cfg.dt_scale = 4.0;
+  const int nranks = 2;
+  const kmc::KmcSetup setup(cfg, nranks);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+
+  Point p;
+  p.temperature = temperature;
+  analysis::VacancyTracker tracker(setup.geo);
+  std::mutex m;
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    kmc::KmcEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank(),
+                          kmc::GhostStrategy::OnDemandOneSided);
+    engine.initialize_random(comm, 0.003);
+    for (int c = 0; c < 24; ++c) {
+      engine.run_cycles(comm, 1);
+      const auto vacs = engine.gather_vacancies(comm);
+      if (comm.rank() == 0) {
+        std::lock_guard lk(m);
+        tracker.record(engine.mc_time(), vacs);
+      }
+    }
+    if (comm.rank() == 0) {
+      std::lock_guard lk(m);
+      p.d_coeff = tracker.diffusion_coefficient();
+      p.hops = tracker.hops();
+      p.mc_time = engine.mc_time();
+    }
+  });
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Vacancy diffusion vs temperature (KMC + MSD tracking)\n");
+  std::printf("%8s %16s %10s %14s %16s\n", "T [K]", "D [A^2/s]", "hops",
+              "MC time [s]", "kB*T ln-slope");
+
+  double prev_d = 0.0, prev_inv_t = 0.0;
+  for (const double t : {500.0, 600.0, 700.0, 800.0}) {
+    const Point p = run_at(t);
+    double slope = 0.0;
+    const double inv_t = 1.0 / t;
+    if (prev_d > 0.0 && p.d_coeff > 0.0) {
+      // Arrhenius: ln D = ln D0 - (E_m / kB) * (1/T); the slope between
+      // consecutive temperatures estimates -E_m / kB.
+      slope = (std::log(p.d_coeff) - std::log(prev_d)) / (inv_t - prev_inv_t);
+    }
+    std::printf("%8.0f %16.4g %10llu %14.3g %16.4g\n", t, p.d_coeff,
+                static_cast<unsigned long long>(p.hops), p.mc_time,
+                slope == 0.0 ? 0.0 : -slope * util::units::kBoltzmann);
+    prev_d = p.d_coeff;
+    prev_inv_t = inv_t;
+  }
+  std::printf("\nThe ln-slope column estimates the migration barrier E_m; the\n"
+              "KMC rate model uses E_m0 = %.2f eV, so values in that vicinity\n"
+              "confirm the Arrhenius kinetics of the vacancy random walk.\n",
+              util::iron::kVacancyMigrationBarrier);
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "analysis/defects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace mmd::analysis {
+
+namespace {
+
+DefectAnalysis match(const lat::BccGeometry& geo,
+                     std::vector<util::Vec3> vacancies,
+                     const std::vector<util::Vec3>& interstitials) {
+  DefectAnalysis out;
+  std::vector<bool> used(vacancies.size(), false);
+  for (const util::Vec3& i_pos : interstitials) {
+    double best_d2 = std::numeric_limits<double>::max();
+    std::size_t best = vacancies.size();
+    for (std::size_t v = 0; v < vacancies.size(); ++v) {
+      if (used[v]) continue;
+      const double d2 = geo.min_image(i_pos, vacancies[v]).norm2();
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = v;
+      }
+    }
+    if (best == vacancies.size()) break;
+    used[best] = true;
+    FrenkelPair p;
+    p.vacancy = vacancies[best];
+    p.interstitial = i_pos;
+    p.separation = std::sqrt(best_d2);
+    out.separation.add_tracked(p.separation);
+    out.pairs.push_back(p);
+  }
+  out.unmatched_vacancies = static_cast<std::uint64_t>(
+      std::count(used.begin(), used.end(), false));
+  return out;
+}
+
+void collect(const lat::LatticeNeighborList& lnl, std::vector<util::Vec3>* vac,
+             std::vector<util::Vec3>* inter) {
+  for (std::size_t idx : lnl.owned_indices()) {
+    const lat::AtomEntry& e = lnl.entry(idx);
+    if (e.is_vacancy()) vac->push_back(e.r);
+  }
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+    inter->push_back(lnl.runaway(ri).r);
+  });
+}
+
+}  // namespace
+
+double DefectAnalysis::fraction_within(double r) const {
+  if (pairs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& p : pairs) {
+    if (p.separation <= r) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(pairs.size());
+}
+
+DefectAnalysis analyze_defects(const lat::LatticeNeighborList& lnl) {
+  std::vector<util::Vec3> vac, inter;
+  collect(lnl, &vac, &inter);
+  return match(lnl.geometry(), std::move(vac), inter);
+}
+
+PositionClusterStats cluster_positions(const std::vector<util::Vec3>& points,
+                                       const util::Vec3& box, double cutoff) {
+  PositionClusterStats out;
+  out.num_points = points.size();
+  if (points.empty()) return out;
+  // Union-find with path halving over all pairs (damage populations are
+  // small relative to the crystal; O(N^2) is fine here).
+  std::vector<std::size_t> parent(points.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto min_image = [&](util::Vec3 d) {
+    d.x -= box.x * std::nearbyint(d.x / box.x);
+    d.y -= box.y * std::nearbyint(d.y / box.y);
+    d.z -= box.z * std::nearbyint(d.z / box.z);
+    return d;
+  };
+  const double cut2 = cutoff * cutoff;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (min_image(points[j] - points[i]).norm2() <= cut2) {
+        const std::size_t a = find(i), b = find(j);
+        if (a != b) parent[a] = b;
+      }
+    }
+  }
+  std::unordered_map<std::size_t, std::uint64_t> sizes;
+  for (std::size_t i = 0; i < points.size(); ++i) ++sizes[find(i)];
+  out.num_clusters = sizes.size();
+  for (const auto& [root, size] : sizes) {
+    out.size_histogram.add(static_cast<std::int64_t>(size));
+    out.max_size = std::max<std::uint64_t>(out.max_size, size);
+  }
+  out.mean_size = static_cast<double>(out.num_points) /
+                  static_cast<double>(out.num_clusters);
+  return out;
+}
+
+PositionClusterStats cluster_interstitials(const lat::LatticeNeighborList& lnl,
+                                           double cutoff) {
+  if (cutoff <= 0.0) {
+    cutoff = 1.1 * std::sqrt(3.0) / 2.0 * lnl.geometry().lattice_constant();
+  }
+  std::vector<util::Vec3> pos;
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+    pos.push_back(lnl.runaway(ri).r);
+  });
+  return cluster_positions(pos, lnl.geometry().box_length(), cutoff);
+}
+
+DefectAnalysis analyze_defects_global(comm::Comm& comm,
+                                      const lat::LatticeNeighborList& lnl) {
+  constexpr int kTagVac = 9100;
+  constexpr int kTagInt = 9101;
+  std::vector<util::Vec3> vac, inter;
+  collect(lnl, &vac, &inter);
+  if (comm.rank() != 0) {
+    comm.send(0, kTagVac, std::span<const util::Vec3>(vac));
+    comm.send(0, kTagInt, std::span<const util::Vec3>(inter));
+    return {};
+  }
+  for (int r = 1; r < comm.size(); ++r) {
+    auto v = comm.recv_vector<util::Vec3>(r, kTagVac);
+    auto i = comm.recv_vector<util::Vec3>(r, kTagInt);
+    vac.insert(vac.end(), v.begin(), v.end());
+    inter.insert(inter.end(), i.begin(), i.end());
+  }
+  return match(lnl.geometry(), std::move(vac), inter);
+}
+
+}  // namespace mmd::analysis

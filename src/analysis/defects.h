@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/world.h"
+#include "lattice/lattice_neighbor_list.h"
+#include "util/stats.h"
+
+namespace mmd::analysis {
+
+/// A vacancy-interstitial (Frenkel) pair matched by proximity.
+struct FrenkelPair {
+  util::Vec3 vacancy;
+  util::Vec3 interstitial;
+  double separation = 0.0;  ///< [A]
+};
+
+/// Cascade damage census beyond raw counts: matches each interstitial
+/// (run-away atom) to its nearest vacancy, giving the Frenkel-pair
+/// separation distribution — small separations mean correlated pairs that
+/// will recombine quickly; large ones are the stable damage the KMC stage
+/// evolves.
+struct DefectAnalysis {
+  std::vector<FrenkelPair> pairs;
+  util::RunningStats separation;   ///< statistics over pair separations [A]
+  std::uint64_t unmatched_vacancies = 0;
+
+  /// Fraction of pairs closer than `r` [A].
+  double fraction_within(double r) const;
+};
+
+/// Analyze the owned defects of one rank's lattice (no communication).
+DefectAnalysis analyze_defects(const lat::LatticeNeighborList& lnl);
+
+/// Gather every rank's defect positions on rank 0 and analyze globally.
+DefectAnalysis analyze_defects_global(comm::Comm& comm,
+                                      const lat::LatticeNeighborList& lnl);
+
+/// Cluster census over off-lattice positions (e.g. interstitial / SIA
+/// clusters from the run-away pool): connected components under a distance
+/// cutoff with periodic boundaries.
+struct PositionClusterStats {
+  std::uint64_t num_points = 0;
+  std::uint64_t num_clusters = 0;
+  double mean_size = 0.0;
+  std::uint64_t max_size = 0;
+  util::Histogram size_histogram;
+};
+
+PositionClusterStats cluster_positions(const std::vector<util::Vec3>& points,
+                                       const util::Vec3& box, double cutoff);
+
+/// Interstitial (run-away) cluster census of one rank's lattice; `cutoff`
+/// defaults to just past the BCC 1NN distance.
+PositionClusterStats cluster_interstitials(const lat::LatticeNeighborList& lnl,
+                                           double cutoff = 0.0);
+
+}  // namespace mmd::analysis

@@ -1,0 +1,63 @@
+#include "analysis/diffusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mmd::analysis {
+
+void VacancyTracker::record(double t, const std::vector<std::int64_t>& sites) {
+  if (!started_) {
+    tracks_.reserve(sites.size());
+    for (std::int64_t s : sites) tracks_.push_back({{}, s});
+    t_first_ = t_last_ = t;
+    started_ = true;
+    return;
+  }
+  t_last_ = t;
+  // Greedy matching: each track claims the nearest unclaimed new site (by
+  // minimum-image distance). Hop distances are a few 1NN spacings per cycle,
+  // far below the typical inter-vacancy distance, so greedy is adequate.
+  std::vector<bool> claimed(sites.size(), false);
+  for (Track& track : tracks_) {
+    const util::Vec3 from = geo_->position(geo_->site_coord(track.site));
+    double best_d2 = std::numeric_limits<double>::max();
+    std::size_t best = sites.size();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (claimed[i]) continue;
+      const util::Vec3 to = geo_->position(geo_->site_coord(sites[i]));
+      const double d2 = geo_->min_image(from, to).norm2();
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    if (best == sites.size()) continue;  // fewer sites than tracks
+    claimed[best] = true;
+    if (sites[best] != track.site) {
+      const util::Vec3 to = geo_->position(geo_->site_coord(sites[best]));
+      track.unwrapped += geo_->min_image(from, to);
+      track.site = sites[best];
+      ++hops_;
+    }
+  }
+}
+
+double VacancyTracker::msd() const {
+  if (tracks_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Track& t : tracks_) sum += t.unwrapped.norm2();
+  return sum / static_cast<double>(tracks_.size());
+}
+
+double VacancyTracker::diffusion_coefficient() const {
+  const double dt = elapsed();
+  return dt > 0.0 ? msd() / (6.0 * dt) : 0.0;
+}
+
+double VacancyTracker::random_walk_d(double gamma_per_s, double a) {
+  const double d1 = std::sqrt(3.0) / 2.0 * a;
+  return gamma_per_s * d1 * d1 / 6.0;
+}
+
+}  // namespace mmd::analysis

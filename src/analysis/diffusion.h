@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lattice/geometry.h"
+#include "util/vec3.h"
+
+namespace mmd::analysis {
+
+/// Tracks vacancy trajectories through a KMC run and estimates the vacancy
+/// diffusion coefficient from the mean-square displacement:
+///   D = <|r(t) - r(0)|^2> / (6 t).
+///
+/// Vacancies are identified across snapshots by greedy nearest-neighbor
+/// matching under periodic boundary conditions; each hop accumulates into an
+/// unwrapped displacement, so diffusion across the box boundary is counted
+/// correctly. For a random walk on the BCC lattice the theoretical value is
+///   D_rw = Gamma * d1NN^2 / 6,
+/// with Gamma the total hop rate per vacancy and d1NN = sqrt(3)/2 a.
+class VacancyTracker {
+ public:
+  explicit VacancyTracker(const lat::BccGeometry& geo) : geo_(&geo) {}
+
+  /// Record a snapshot of global vacancy site ranks at MC time `t` [s].
+  void record(double t, const std::vector<std::int64_t>& vacancy_sites);
+
+  std::size_t tracked() const { return tracks_.size(); }
+
+  /// Mean-square displacement over all tracked vacancies [A^2].
+  double msd() const;
+
+  /// Time span covered [s].
+  double elapsed() const { return t_last_ - t_first_; }
+
+  /// Diffusion coefficient estimate [A^2/s]; 0 before two snapshots.
+  double diffusion_coefficient() const;
+
+  /// Total hops observed across all tracked vacancies.
+  std::uint64_t hops() const { return hops_; }
+
+  /// Theoretical random-walk diffusion coefficient for hop rate `gamma`
+  /// [1/s] on a BCC lattice with constant `a` [A].
+  static double random_walk_d(double gamma_per_s, double a);
+
+ private:
+  struct Track {
+    util::Vec3 unwrapped;  ///< accumulated displacement [A]
+    std::int64_t site = 0; ///< current site rank
+  };
+
+  const lat::BccGeometry* geo_;
+  std::vector<Track> tracks_;
+  double t_first_ = 0.0;
+  double t_last_ = 0.0;
+  std::uint64_t hops_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mmd::analysis

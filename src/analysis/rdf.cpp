@@ -1,0 +1,84 @@
+#include "analysis/rdf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmd::analysis {
+
+RadialDistribution::RadialDistribution(double r_max, int bins)
+    : r_max_(r_max), counts_(static_cast<std::size_t>(bins), 0) {
+  if (r_max <= 0.0 || bins <= 0) {
+    throw std::invalid_argument("RadialDistribution: bad r_max/bins");
+  }
+}
+
+void RadialDistribution::accumulate(std::span<const util::Vec3> positions,
+                                    const util::Vec3& box) {
+  const double dr = r_max_ / static_cast<double>(counts_.size());
+  auto min_image = [&](util::Vec3 d) {
+    d.x -= box.x * std::nearbyint(d.x / box.x);
+    d.y -= box.y * std::nearbyint(d.y / box.y);
+    d.z -= box.z * std::nearbyint(d.z / box.z);
+    return d;
+  };
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      const double r = min_image(positions[j] - positions[i]).norm();
+      if (r < r_max_) {
+        counts_[static_cast<std::size_t>(r / dr)] += 2;  // both directions
+      }
+    }
+  }
+  n_atoms_ += positions.size();
+  ++n_frames_;
+  density_ = static_cast<double>(positions.size()) / (box.x * box.y * box.z);
+}
+
+void RadialDistribution::accumulate(const lat::LatticeNeighborList& lnl) {
+  std::vector<util::Vec3> pos;
+  pos.reserve(lnl.owned_indices().size());
+  for (std::size_t idx : lnl.owned_indices()) {
+    const lat::AtomEntry& e = lnl.entry(idx);
+    if (e.is_atom()) pos.push_back(e.r);
+  }
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+    pos.push_back(lnl.runaway(ri).r);
+  });
+  accumulate(pos, lnl.geometry().box_length());
+}
+
+std::vector<RadialDistribution::Bin> RadialDistribution::result() const {
+  std::vector<Bin> out(counts_.size());
+  if (n_frames_ == 0) return out;
+  const double dr = r_max_ / static_cast<double>(counts_.size());
+  const double atoms_per_frame =
+      static_cast<double>(n_atoms_) / static_cast<double>(n_frames_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double r_lo = static_cast<double>(b) * dr;
+    const double r_hi = r_lo + dr;
+    const double shell =
+        4.0 / 3.0 * 3.14159265358979323846 *
+        (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = density_ * shell * atoms_per_frame;
+    out[b].r_lo = r_lo;
+    out[b].r_hi = r_hi;
+    out[b].g = ideal > 0.0 ? static_cast<double>(counts_[b]) /
+                                 static_cast<double>(n_frames_) / ideal
+                           : 0.0;
+  }
+  return out;
+}
+
+double RadialDistribution::first_peak() const {
+  const auto bins = result();
+  double best_g = 0.0, best_r = 0.0;
+  for (const auto& b : bins) {
+    if (b.g > best_g) {
+      best_g = b.g;
+      best_r = 0.5 * (b.r_lo + b.r_hi);
+    }
+  }
+  return best_r;
+}
+
+}  // namespace mmd::analysis

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lattice/lattice_neighbor_list.h"
+#include "util/vec3.h"
+
+namespace mmd::analysis {
+
+/// Radial distribution function g(r) of an atomic configuration in a
+/// periodic orthorhombic box — the standard structural diagnostic: a BCC
+/// crystal shows sharp peaks at the neighbor shells (2.47, 2.855, 4.04, ...
+/// for a = 2.855 A); a molten/damaged region smears them out.
+class RadialDistribution {
+ public:
+  RadialDistribution(double r_max, int bins);
+
+  /// Accumulate all pairs from a position list (O(N^2); intended for the
+  /// modest analysis boxes of the examples and tests).
+  void accumulate(std::span<const util::Vec3> positions, const util::Vec3& box);
+
+  /// Accumulate the owned atoms of a lattice neighbor list (positions of
+  /// lattice atoms and run-aways alike).
+  void accumulate(const lat::LatticeNeighborList& lnl);
+
+  /// Normalized g(r) histogram; empty until accumulate() was called.
+  struct Bin {
+    double r_lo = 0.0;
+    double r_hi = 0.0;
+    double g = 0.0;
+  };
+  std::vector<Bin> result() const;
+
+  /// Location of the highest peak [A].
+  double first_peak() const;
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double r_max() const { return r_max_; }
+
+ private:
+  double r_max_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_atoms_ = 0;
+  std::uint64_t n_frames_ = 0;
+  double density_ = 0.0;
+};
+
+}  // namespace mmd::analysis

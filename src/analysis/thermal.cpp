@@ -1,0 +1,71 @@
+#include "analysis/thermal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace mmd::analysis {
+
+double ThermalProfile::core_temperature() const {
+  for (const Shell& s : shells) {
+    if (s.atoms > 0) return s.temperature;
+  }
+  return 0.0;
+}
+
+double ThermalProfile::mean_temperature() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Shell& s : shells) {
+    sum += s.temperature * static_cast<double>(s.atoms);
+    n += s.atoms;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+ThermalProfile thermal_profile(const lat::LatticeNeighborList& lnl,
+                               const md::MdConfig& cfg, const util::Vec3& center,
+                               double r_max, int nshells) {
+  if (r_max <= 0.0 || nshells <= 0) {
+    throw std::invalid_argument("thermal_profile: bad r_max/shells");
+  }
+  ThermalProfile out;
+  const double dr = r_max / nshells;
+  std::vector<double> ke(static_cast<std::size_t>(nshells), 0.0);
+  std::vector<std::size_t> count(static_cast<std::size_t>(nshells), 0);
+  const auto& geo = lnl.geometry();
+
+  auto add = [&](const util::Vec3& r, const util::Vec3& v, lat::Species type) {
+    const double dist = geo.min_image(center, r).norm();
+    if (dist >= r_max) return;
+    const auto bin = static_cast<std::size_t>(dist / dr);
+    ke[bin] += 0.5 * cfg.mass_of(type) * v.norm2() * util::units::kVel2ToEnergy;
+    ++count[bin];
+  };
+  for (std::size_t idx : lnl.owned_indices()) {
+    const lat::AtomEntry& e = lnl.entry(idx);
+    if (e.is_atom()) add(e.r, e.v, e.type);
+  }
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+    const lat::RunawayAtom& a = lnl.runaway(ri);
+    add(a.r, a.v, a.type);
+  });
+
+  out.shells.resize(static_cast<std::size_t>(nshells));
+  for (int b = 0; b < nshells; ++b) {
+    auto& s = out.shells[static_cast<std::size_t>(b)];
+    s.r_lo = b * dr;
+    s.r_hi = (b + 1) * dr;
+    s.atoms = count[static_cast<std::size_t>(b)];
+    // T = 2 <KE> / (3 kB) per atom.
+    s.temperature =
+        s.atoms > 0
+            ? 2.0 * ke[static_cast<std::size_t>(b)] /
+                  (3.0 * static_cast<double>(s.atoms) * util::units::kBoltzmann)
+            : 0.0;
+  }
+  return out;
+}
+
+}  // namespace mmd::analysis

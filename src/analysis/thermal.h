@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "lattice/lattice_neighbor_list.h"
+#include "md/config.h"
+#include "util/vec3.h"
+
+namespace mmd::analysis {
+
+/// Radial kinetic-energy ("thermal spike") profile around a cascade center:
+/// local temperature versus distance from the PKA site. During the ballistic
+/// phase the core is thousands of kelvin hot and the profile decays steeply;
+/// as the cascade thermalizes the profile flattens to the bath temperature —
+/// the standard diagnostic for cascade evolution.
+struct ThermalProfile {
+  struct Shell {
+    double r_lo = 0.0;
+    double r_hi = 0.0;
+    std::size_t atoms = 0;
+    double temperature = 0.0;  ///< [K] from the local kinetic energy
+  };
+  std::vector<Shell> shells;
+
+  /// Temperature of the innermost non-empty shell.
+  double core_temperature() const;
+  /// Atom-weighted mean over all shells.
+  double mean_temperature() const;
+};
+
+/// Compute the profile over one rank's owned atoms (lattice + run-aways).
+/// Distances are minimum-image from `center`; per-species masses from `cfg`.
+ThermalProfile thermal_profile(const lat::LatticeNeighborList& lnl,
+                               const md::MdConfig& cfg, const util::Vec3& center,
+                               double r_max, int shells);
+
+}  // namespace mmd::analysis

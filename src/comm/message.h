@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace mmd::comm {
+
+/// Wildcard constants mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A point-to-point message in flight.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Result of a probe: who sent what, and how big it is — the information an
+/// on-demand receiver must discover at runtime (paper §2.2.1: "the receiver
+/// has to use MPI_Probe to query the information beforehand").
+struct ProbeInfo {
+  int src = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+/// Serialize a trivially-copyable span into a byte vector.
+template <typename T>
+std::vector<std::byte> pack(std::span<const T> items) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(items.size_bytes());
+  if (!items.empty()) std::memcpy(out.data(), items.data(), items.size_bytes());
+  return out;
+}
+
+/// Deserialize a byte vector produced by pack<T>.
+template <typename T>
+std::vector<T> unpack(std::span<const std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
+  return out;
+}
+
+}  // namespace mmd::comm

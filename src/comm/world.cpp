@@ -1,0 +1,210 @@
+#include "comm/world.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace mmd::comm {
+
+namespace {
+
+bool matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+}
+
+}  // namespace
+
+World::World(int nranks) : size_(nranks), traffic_(static_cast<std::size_t>(nranks)) {
+  if (nranks <= 0) throw std::invalid_argument("World requires at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+RankTraffic World::total_traffic() const {
+  RankTraffic total;
+  for (const auto& t : traffic_) total += t;
+  return total;
+}
+
+void World::reset_traffic() {
+  for (auto& t : traffic_) t = RankTraffic{};
+}
+
+void World::deliver(int dst, Message msg) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lk(box.m);
+    box.q.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message World::receive(int me, int src, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::unique_lock lk(box.m);
+  for (;;) {
+    auto it = std::find_if(box.q.begin(), box.q.end(),
+                           [&](const Message& m) { return matches(m, src, tag); });
+    if (it != box.q.end()) {
+      Message out = std::move(*it);
+      box.q.erase(it);
+      return out;
+    }
+    box.cv.wait(lk);
+  }
+}
+
+ProbeInfo World::probe_blocking(int me, int src, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::unique_lock lk(box.m);
+  for (;;) {
+    auto it = std::find_if(box.q.begin(), box.q.end(),
+                           [&](const Message& m) { return matches(m, src, tag); });
+    if (it != box.q.end()) return {it->src, it->tag, it->payload.size()};
+    box.cv.wait(lk);
+  }
+}
+
+std::optional<ProbeInfo> World::probe_nonblocking(int me, int src, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::lock_guard lk(box.m);
+  auto it = std::find_if(box.q.begin(), box.q.end(),
+                         [&](const Message& m) { return matches(m, src, tag); });
+  if (it == box.q.end()) return std::nullopt;
+  return ProbeInfo{it->src, it->tag, it->payload.size()};
+}
+
+// Generation-counted rendezvous: the first arrival of a generation runs
+// `init`, every arrival runs `combine`, the last arrival publishes and bumps
+// the generation; everyone returns `extract` under the same lock, so no rank
+// can start the next collective before all ranks have read this one.
+template <typename Init, typename Combine, typename Extract>
+auto World::rendezvous(Init init, Combine combine, Extract extract) {
+  std::unique_lock lk(rv_.m);
+  if (rv_.arrived == 0) init(rv_);
+  combine(rv_);
+  ++rv_.arrived;
+  const std::uint64_t gen = rv_.generation;
+  if (rv_.arrived == size_) {
+    rv_.result_d = rv_.acc_d;
+    rv_.result_u = rv_.acc_u;
+    rv_.arrived = 0;
+    ++rv_.generation;
+    rv_.cv.notify_all();
+  } else {
+    rv_.cv.wait(lk, [&] { return rv_.generation != gen; });
+  }
+  return extract(rv_);
+}
+
+void World::barrier() {
+  rendezvous([](Rendezvous&) {}, [](Rendezvous&) {},
+             [](Rendezvous&) { return 0; });
+}
+
+double World::allreduce_sum(double x) {
+  return rendezvous([](Rendezvous& r) { r.acc_d = 0.0; },
+                    [x](Rendezvous& r) { r.acc_d += x; },
+                    [](Rendezvous& r) { return r.result_d; });
+}
+
+double World::allreduce_max(double x) {
+  return rendezvous([x](Rendezvous& r) { r.acc_d = x; },
+                    [x](Rendezvous& r) { r.acc_d = std::max(r.acc_d, x); },
+                    [](Rendezvous& r) { return r.result_d; });
+}
+
+std::uint64_t World::allreduce_sum_u64(std::uint64_t x) {
+  return rendezvous([](Rendezvous& r) { r.acc_u = 0; },
+                    [x](Rendezvous& r) { r.acc_u += x; },
+                    [](Rendezvous& r) { return r.result_u; });
+}
+
+std::uint64_t World::allreduce_max_u64(std::uint64_t x) {
+  return rendezvous([x](Rendezvous& r) { r.acc_u = x; },
+                    [x](Rendezvous& r) { r.acc_u = std::max(r.acc_u, x); },
+                    [](Rendezvous& r) { return r.result_u; });
+}
+
+std::shared_ptr<PutWindow> World::create_window() {
+  return rendezvous(
+      [this](Rendezvous& r) { r.window = std::make_shared<PutWindow>(size_); },
+      [](Rendezvous&) {},
+      [](Rendezvous& r) { return r.window; });
+}
+
+void Comm::send_bytes(int dst, int tag, std::span<const std::byte> data) {
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  auto& t = my_traffic();
+  ++t.p2p_msgs_sent;
+  t.p2p_bytes_sent += data.size();
+  world_->deliver(dst, std::move(m));
+}
+
+Message Comm::recv(int src, int tag) { return world_->receive(rank_, src, tag); }
+
+ProbeInfo Comm::probe(int src, int tag) {
+  return world_->probe_blocking(rank_, src, tag);
+}
+
+std::optional<ProbeInfo> Comm::iprobe(int src, int tag) {
+  return world_->probe_nonblocking(rank_, src, tag);
+}
+
+void Comm::barrier() {
+  ++my_traffic().collectives;
+  world_->barrier();
+}
+
+double Comm::allreduce_sum(double x) {
+  ++my_traffic().collectives;
+  return world_->allreduce_sum(x);
+}
+
+double Comm::allreduce_max(double x) {
+  ++my_traffic().collectives;
+  return world_->allreduce_max(x);
+}
+
+std::uint64_t Comm::allreduce_sum_u64(std::uint64_t x) {
+  ++my_traffic().collectives;
+  return world_->allreduce_sum_u64(x);
+}
+
+std::uint64_t Comm::allreduce_max_u64(std::uint64_t x) {
+  ++my_traffic().collectives;
+  return world_->allreduce_max_u64(x);
+}
+
+std::shared_ptr<PutWindow> Comm::create_window() {
+  ++my_traffic().collectives;
+  return world_->create_window();
+}
+
+}  // namespace mmd::comm

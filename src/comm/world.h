@@ -1,0 +1,251 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "comm/message.h"
+
+namespace mmd::comm {
+
+class Comm;
+
+/// Per-rank traffic accounting. Only the owning rank's thread writes its own
+/// entry, so no atomics are needed; aggregation happens after `run()` or at
+/// collective boundaries.
+struct RankTraffic {
+  std::uint64_t p2p_msgs_sent = 0;
+  std::uint64_t p2p_bytes_sent = 0;
+  std::uint64_t onesided_puts = 0;
+  std::uint64_t onesided_bytes = 0;
+  std::uint64_t collectives = 0;
+
+  RankTraffic& operator+=(const RankTraffic& o) {
+    p2p_msgs_sent += o.p2p_msgs_sent;
+    p2p_bytes_sent += o.p2p_bytes_sent;
+    onesided_puts += o.onesided_puts;
+    onesided_bytes += o.onesided_bytes;
+    collectives += o.collectives;
+    return *this;
+  }
+
+  std::uint64_t total_bytes() const { return p2p_bytes_sent + onesided_bytes; }
+  std::uint64_t total_msgs() const { return p2p_msgs_sent + onesided_puts; }
+};
+
+/// One-sided communication window (models an MPI-3 RMA epoch with
+/// MPI_Put + MPI_Win_fence). Each rank owns an append inbox; remote ranks
+/// deposit byte records into it without any matching receive. After a
+/// `fence()` the owner drains its inbox. This is exactly the primitive the
+/// paper proposes for on-demand KMC communication without zero-size
+/// handshake messages.
+class PutWindow {
+ public:
+  explicit PutWindow(int nranks) : inboxes_(nranks) {}
+
+  void append(int target, std::span<const std::byte> data) {
+    auto& box = inboxes_[static_cast<std::size_t>(target)];
+    std::lock_guard lk(box.m);
+    box.data.insert(box.data.end(), data.begin(), data.end());
+  }
+
+  std::vector<std::byte> drain(int rank) {
+    auto& box = inboxes_[static_cast<std::size_t>(rank)];
+    std::lock_guard lk(box.m);
+    return std::exchange(box.data, {});
+  }
+
+ private:
+  struct Inbox {
+    std::mutex m;
+    std::vector<std::byte> data;
+  };
+  std::vector<Inbox> inboxes_;
+};
+
+/// An N-rank message-passing world executed as N threads inside one process.
+///
+/// This is the substitution for MPI on TaihuLight (see DESIGN.md §2): the
+/// communication *algorithms* (ghost exchange, probe-based on-demand
+/// delivery, one-sided puts) run unchanged, and per-rank traffic counters
+/// supply the volumes that the scaling model projects to paper scale.
+class World {
+ public:
+  explicit World(int nranks);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return size_; }
+
+  /// Spawn one thread per rank, run `fn(comm)` on each, join all. Any
+  /// exception thrown by a rank is rethrown on the caller after join.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Aggregate traffic over all ranks since construction or reset.
+  RankTraffic total_traffic() const;
+  const RankTraffic& traffic(int rank) const {
+    return traffic_[static_cast<std::size_t>(rank)];
+  }
+  void reset_traffic();
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> q;
+  };
+
+  // --- point to point ---
+  void deliver(int dst, Message msg);
+  Message receive(int me, int src, int tag);
+  ProbeInfo probe_blocking(int me, int src, int tag);
+  std::optional<ProbeInfo> probe_nonblocking(int me, int src, int tag);
+
+  // --- collectives (single generation-counted rendezvous) ---
+  struct Rendezvous {
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    double acc_d = 0.0;
+    std::uint64_t acc_u = 0;
+    double result_d = 0.0;
+    std::uint64_t result_u = 0;
+    std::shared_ptr<PutWindow> window;
+  };
+
+  void barrier();
+  double allreduce_sum(double x);
+  double allreduce_max(double x);
+  std::uint64_t allreduce_sum_u64(std::uint64_t x);
+  std::uint64_t allreduce_max_u64(std::uint64_t x);
+  std::shared_ptr<PutWindow> create_window();
+
+  template <typename Init, typename Combine, typename Extract>
+  auto rendezvous(Init init, Combine combine, Extract extract);
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Rendezvous rv_;
+  std::vector<RankTraffic> traffic_;
+};
+
+/// A rank's handle into the World: the MPI-communicator-shaped API used by
+/// all parallel algorithms in this codebase.
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size_; }
+
+  /// Blocking untyped send (buffered: never deadlocks on unmatched sends).
+  void send_bytes(int dst, int tag, std::span<const std::byte> data);
+
+  /// Blocking typed send of trivially-copyable elements.
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> items) {
+    send_bytes(dst, tag, std::as_bytes(items));
+  }
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    send(dst, tag, std::span<const T>(&v, 1));
+  }
+
+  /// Blocking receive matching (src, tag); wildcards kAnySource/kAnyTag.
+  Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  template <typename T>
+  std::vector<T> recv_vector(int src = kAnySource, int tag = kAnyTag,
+                             int* actual_src = nullptr) {
+    Message m = recv(src, tag);
+    if (actual_src) *actual_src = m.src;
+    return unpack<T>(m.payload);
+  }
+
+  /// Blocking probe: wait until a matching message exists, return its info
+  /// without consuming it.
+  ProbeInfo probe(int src = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe.
+  std::optional<ProbeInfo> iprobe(int src = kAnySource, int tag = kAnyTag);
+
+  void barrier();
+  double allreduce_sum(double x);
+  double allreduce_max(double x);
+  std::uint64_t allreduce_sum_u64(std::uint64_t x);
+  std::uint64_t allreduce_max_u64(std::uint64_t x);
+
+  /// Collective: concatenate every rank's items on `root` (rank order).
+  /// Non-root ranks receive an empty vector.
+  template <typename T>
+  std::vector<T> gather_to(int root, std::span<const T> items, int tag = 9990) {
+    if (rank_ != root) {
+      send(root, tag, items);
+      return {};
+    }
+    std::vector<T> all;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        all.insert(all.end(), items.begin(), items.end());
+      } else {
+        auto part = recv_vector<T>(r, tag);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+    }
+    return all;
+  }
+
+  /// Collective: every rank receives root's items.
+  template <typename T>
+  std::vector<T> broadcast_from(int root, std::span<const T> items,
+                                int tag = 9991) {
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) send(r, tag, items);
+      }
+      return {items.begin(), items.end()};
+    }
+    return recv_vector<T>(root, tag);
+  }
+
+  /// Collective: create (or join) a one-sided window shared by all ranks.
+  std::shared_ptr<PutWindow> create_window();
+
+  /// One-sided put of typed records into `target`'s inbox.
+  template <typename T>
+  void put(PutWindow& win, int target, std::span<const T> items) {
+    auto bytes = std::as_bytes(items);
+    win.append(target, bytes);
+    auto& t = my_traffic();
+    ++t.onesided_puts;
+    t.onesided_bytes += bytes.size();
+  }
+
+  /// Drain this rank's one-sided inbox (valid after a fence/barrier).
+  template <typename T>
+  std::vector<T> drain(PutWindow& win) {
+    return unpack<T>(win.drain(rank_));
+  }
+
+  RankTraffic& my_traffic() {
+    return world_->traffic_[static_cast<std::size_t>(rank_)];
+  }
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+}  // namespace mmd::comm

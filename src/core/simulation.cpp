@@ -1,0 +1,153 @@
+#include "core/simulation.h"
+
+#include <mutex>
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace mmd::core {
+
+namespace {
+
+kmc::KmcConfig kmc_config_from(const SimulationConfig& cfg) {
+  kmc::KmcConfig k;
+  k.nx = cfg.md.nx;
+  k.ny = cfg.md.ny;
+  k.nz = cfg.md.nz;
+  k.lattice_constant = cfg.md.lattice_constant;
+  k.cutoff = cfg.md.cutoff;
+  k.temperature = cfg.md.temperature;
+  k.seed = cfg.md.seed;
+  k.dt_scale = cfg.kmc_dt_scale;
+  k.table_segments = cfg.kmc_table_segments;
+  return k;
+}
+
+}  // namespace
+
+std::string to_string(const SimulationReport& r) {
+  std::ostringstream os;
+  os << "MD stage: " << r.md_defects.atoms << " atoms, " << r.md_defects.vacancies
+     << " vacancies, " << r.md_defects.interstitials << " interstitials ("
+     << r.md_seconds << " s)\n";
+  os << "KMC stage: " << r.kmc_events << " events, MC time " << r.kmc_mc_time
+     << " s, C_MC " << r.vacancy_concentration << " (" << r.kmc_seconds
+     << " s)\n";
+  os << "Clusters after MD : " << r.clusters_after_md.num_clusters
+     << " clusters, mean size " << r.clusters_after_md.mean_size
+     << ", max " << r.clusters_after_md.max_size << "\n";
+  os << "Clusters after KMC: " << r.clusters_after_kmc.num_clusters
+     << " clusters, mean size " << r.clusters_after_kmc.mean_size
+     << ", max " << r.clusters_after_kmc.max_size << "\n";
+  os << "Temporal scale: " << r.real_time_days << " days";
+  return os.str();
+}
+
+Simulation::Simulation(const SimulationConfig& cfg)
+    : cfg_(cfg),
+      md_tables_(pot::EamTableSet::build(
+          cfg.solute_fraction > 0.0
+              ? pot::EamModel::iron_copper(cfg.md.lattice_constant, cfg.md.cutoff)
+              : pot::EamModel::iron(cfg.md.lattice_constant, cfg.md.cutoff),
+          cfg.md.table_segments)),
+      kmc_tables_(pot::EamTableSet::build(
+          cfg.solute_fraction > 0.0
+              ? pot::EamModel::iron_copper(cfg.md.lattice_constant, cfg.md.cutoff)
+              : pot::EamModel::iron(cfg.md.lattice_constant, cfg.md.cutoff),
+          cfg.kmc_table_segments)) {}
+
+SimulationReport Simulation::run() {
+  SimulationReport report;
+  std::mutex report_mutex;
+
+  const md::MdSetup md_setup(cfg_.md, cfg_.nranks);
+  const kmc::KmcConfig kmc_cfg = kmc_config_from(cfg_);
+  const kmc::KmcSetup kmc_setup(kmc_cfg, cfg_.nranks);
+
+  comm::World world(cfg_.nranks);
+  world.run([&](comm::Comm& comm) {
+    util::Timer wall;
+
+    // --- MD stage: cascade-collision defect generation ---
+    md::MdEngine md_engine(cfg_.md, md_setup.geo, md_setup.dd, md_tables_,
+                           comm.rank());
+    md_engine.initialize(comm);
+    if (cfg_.solute_fraction > 0.0) {
+      md_engine.seed_solutes(comm, cfg_.solute_fraction);
+    }
+    util::Rng rng(cfg_.md.seed ^ 0x7a3d5e9bull);
+    for (int p = 0; p < cfg_.pka_count; ++p) {
+      const auto site = static_cast<std::int64_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(md_setup.geo.num_sites())));
+      md_engine.inject_pka(comm, site, rng.unit_vector(), cfg_.pka_energy_ev);
+    }
+    md_engine.run_for(comm, cfg_.md_time_ps);
+    const auto defects = md_engine.defects(comm);
+    const double md_wall = wall.elapsed();
+
+    // --- handoff: vacancy coordinates (and, for alloys, the solute
+    // arrangement) become KMC sites ---
+    std::vector<std::int64_t> vac_sites;
+    for (const auto& v : md_engine.vacancies()) vac_sites.push_back(v.site_rank);
+
+    // --- KMC stage: vacancy clustering and evolution ---
+    wall.reset();
+    kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, kmc_tables_,
+                              comm.rank(), cfg_.kmc_strategy);
+    if (cfg_.solute_fraction > 0.0) {
+      // Carry the Cu arrangement over: on-lattice mapping of each Cu atom
+      // (displaced atoms map to their nearest lattice site).
+      auto& lnl = md_engine.lattice();
+      for (std::size_t idx : lnl.owned_indices()) {
+        const lat::AtomEntry& e = lnl.entry(idx);
+        if (e.is_atom() && e.type == lat::Species::Cu) {
+          kmc_engine.model().set_state_global(lnl.site_rank(idx),
+                                              kmc::SiteState::Cu);
+        }
+      }
+      lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+        const lat::RunawayAtom& a = lnl.runaway(ri);
+        if (a.type == lat::Species::Cu) {
+          const std::size_t host = lnl.nearest_owned_entry(a.r);
+          kmc_engine.model().set_state_global(lnl.site_rank(host),
+                                              kmc::SiteState::Cu);
+        }
+      });
+    }
+    kmc_engine.initialize_sites(comm, vac_sites);
+    const auto before = kmc_engine.gather_vacancies(comm);
+    kmc_engine.run_cycles(comm, cfg_.kmc_cycles);
+    const auto after = kmc_engine.gather_vacancies(comm);
+    const double c_mc = kmc_engine.vacancy_concentration(comm);
+    const auto events = comm.allreduce_sum_u64(kmc_engine.stats().events);
+    const double kmc_wall = wall.elapsed();
+
+    const double md_comp = comm.allreduce_max(md_engine.computation_seconds());
+    const double md_comm = comm.allreduce_max(md_engine.communication_seconds());
+    const double kmc_comp = comm.allreduce_max(kmc_engine.computation_seconds());
+    const double kmc_comm = comm.allreduce_max(kmc_engine.communication_seconds());
+
+    if (comm.rank() == 0) {
+      std::lock_guard lk(report_mutex);
+      report.md_defects = defects;
+      report.clusters_after_md = kmc::cluster_vacancies(kmc_setup.geo, before);
+      report.clusters_after_kmc = kmc::cluster_vacancies(kmc_setup.geo, after);
+      report.kmc_events = events;
+      report.kmc_mc_time = kmc_engine.mc_time();
+      report.vacancy_concentration = c_mc;
+      report.real_time_days =
+          kmc::real_time_scale(kmc_engine.mc_time(), c_mc, kmc_cfg.temperature) /
+          86400.0;
+      report.md_seconds = md_wall;
+      report.kmc_seconds = kmc_wall;
+      report.md_compute_seconds = md_comp;
+      report.md_comm_seconds = md_comm;
+      report.kmc_compute_seconds = kmc_comp;
+      report.kmc_comm_seconds = kmc_comm;
+      report.final_vacancies = after;
+    }
+  });
+  return report;
+}
+
+}  // namespace mmd::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kmc/clusters.h"
+#include "kmc/engine.h"
+#include "md/engine.h"
+
+namespace mmd::core {
+
+/// Configuration of a coupled MD-KMC run (the paper's end-to-end pipeline:
+/// MD simulates cascade-collision defect generation, KMC continues with
+/// vacancy clustering and evolution at a much larger temporal scale).
+struct SimulationConfig {
+  md::MdConfig md;                 ///< box + MD parameters
+  int nranks = 1;                  ///< in-process message-passing ranks
+  /// Simulated cascade duration [ps]. The paper runs 50 ps; the default here
+  /// is a downscaled window that still covers the ballistic phase of the
+  /// modest PKA energies used at laptop scale.
+  double md_time_ps = 0.08;
+  int pka_count = 1;               ///< primary knock-on atoms
+  double pka_energy_ev = 60.0;     ///< PKA kinetic energy
+  /// Fe-Cu alloy mode: fraction of atoms substituted by Cu (0 = pure Fe).
+  /// The solute arrangement survives the MD->KMC handoff, so the KMC stage
+  /// evolves vacancies through the same alloy (paper §1/§2.1.2).
+  double solute_fraction = 0.0;
+  kmc::GhostStrategy kmc_strategy = kmc::GhostStrategy::OnDemandOneSided;
+  int kmc_cycles = 50;             ///< KMC cycles after the MD stage
+  double kmc_dt_scale = 1.0;
+  int kmc_table_segments = 2000;   ///< KMC-side table resolution
+};
+
+/// What the coupled run produced.
+struct SimulationReport {
+  md::DefectSummary md_defects;        ///< census after the MD stage
+  kmc::ClusterStats clusters_after_md;  ///< vacancy clustering before KMC
+  kmc::ClusterStats clusters_after_kmc; ///< ... and after
+  std::uint64_t kmc_events = 0;
+  double kmc_mc_time = 0.0;            ///< MC clock reached [s]
+  double vacancy_concentration = 0.0;  ///< C_MC
+  double real_time_days = 0.0;         ///< t_real via the paper's formula
+  double md_seconds = 0.0;             ///< wall time of the MD stage
+  double kmc_seconds = 0.0;            ///< wall time of the KMC stage
+  double md_compute_seconds = 0.0;     ///< max over ranks
+  double md_comm_seconds = 0.0;
+  double kmc_compute_seconds = 0.0;
+  double kmc_comm_seconds = 0.0;
+  /// Global vacancy site ranks after the KMC stage (for visualization and
+  /// further analysis).
+  std::vector<std::int64_t> final_vacancies;
+};
+
+std::string to_string(const SimulationReport& r);
+
+/// The public facade: one object owning the substrates, running the coupled
+/// MD-KMC damage simulation end to end across the in-process ranks.
+///
+///   core::SimulationConfig cfg;
+///   cfg.md.nx = cfg.md.ny = cfg.md.nz = 12;
+///   cfg.nranks = 4;
+///   core::Simulation sim(cfg);
+///   auto report = sim.run();
+class Simulation {
+ public:
+  explicit Simulation(const SimulationConfig& cfg);
+
+  /// Execute the full pipeline; collective across cfg.nranks ranks.
+  SimulationReport run();
+
+  const SimulationConfig& config() const { return cfg_; }
+  const pot::EamTableSet& tables() const { return md_tables_; }
+
+ private:
+  SimulationConfig cfg_;
+  pot::EamTableSet md_tables_;
+  pot::EamTableSet kmc_tables_;
+};
+
+}  // namespace mmd::core

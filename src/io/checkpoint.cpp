@@ -1,0 +1,147 @@
+#include "io/checkpoint.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace mmd::io {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("Checkpoint: truncated stream");
+  return v;
+}
+
+/// Serialized MD record: the owned entry plus its chained run-aways inline.
+struct MdRecord {
+  lat::AtomEntry entry;
+  std::uint32_t chain_len = 0;
+};
+
+}  // namespace
+
+Checkpoint::Header Checkpoint::read_header(std::istream& is,
+                                           std::uint32_t expected_kind) {
+  const Header h = read_pod<Header>(is);
+  if (h.magic != kMagic) throw std::runtime_error("Checkpoint: bad magic");
+  if (h.version != kVersion) throw std::runtime_error("Checkpoint: bad version");
+  if (h.kind != expected_kind) {
+    throw std::runtime_error("Checkpoint: wrong checkpoint kind");
+  }
+  return h;
+}
+
+void Checkpoint::save_md(std::ostream& os, const lat::LatticeNeighborList& lnl,
+                         double time_ps) {
+  const auto& geo = lnl.geometry();
+  const auto& box = lnl.box();
+  Header h;
+  h.kind = 1;
+  h.nx = geo.nx();
+  h.ny = geo.ny();
+  h.nz = geo.nz();
+  h.ox = box.ox;
+  h.oy = box.oy;
+  h.oz = box.oz;
+  h.lx = box.lx;
+  h.ly = box.ly;
+  h.lz = box.lz;
+  h.time = time_ps;
+  h.payload_count = lnl.owned_indices().size();
+  write_pod(os, h);
+  for (std::size_t idx : lnl.owned_indices()) {
+    MdRecord rec;
+    rec.entry = lnl.entry(idx);
+    std::vector<lat::RunawayAtom> chain;
+    for (std::int32_t ri = rec.entry.runaway_head; ri != lat::AtomEntry::kNoRunaway;
+         ri = lnl.runaway(ri).next) {
+      chain.push_back(lnl.runaway(ri));
+    }
+    rec.entry.runaway_head = lat::AtomEntry::kNoRunaway;
+    rec.chain_len = static_cast<std::uint32_t>(chain.size());
+    write_pod(os, rec);
+    for (const auto& a : chain) write_pod(os, a);
+  }
+}
+
+double Checkpoint::load_md(std::istream& is, lat::LatticeNeighborList& lnl) {
+  const Header h = read_header(is, 1);
+  const auto& geo = lnl.geometry();
+  const auto& box = lnl.box();
+  if (h.nx != geo.nx() || h.ny != geo.ny() || h.nz != geo.nz() ||
+      h.ox != box.ox || h.oy != box.oy || h.oz != box.oz || h.lx != box.lx ||
+      h.ly != box.ly || h.lz != box.lz) {
+    throw std::runtime_error("Checkpoint: geometry/decomposition mismatch");
+  }
+  if (h.payload_count != lnl.owned_indices().size()) {
+    throw std::runtime_error("Checkpoint: owned-entry count mismatch");
+  }
+  // Reset everything (also clears the run-away pool), then repopulate.
+  lnl.fill_perfect(lat::Species::Fe);
+  lnl.clear_ghosts();
+  for (std::size_t idx : lnl.owned_indices()) {
+    const MdRecord rec = read_pod<MdRecord>(is);
+    lnl.entry(idx) = rec.entry;
+    // Chains restore in reverse so the head order matches the saved order.
+    std::vector<lat::RunawayAtom> chain(rec.chain_len);
+    for (auto& a : chain) a = read_pod<lat::RunawayAtom>(is);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      it->next = lat::AtomEntry::kNoRunaway;
+      lnl.add_runaway(*it, idx);
+    }
+  }
+  return h.time;
+}
+
+void Checkpoint::save_kmc(std::ostream& os, const kmc::KmcModel& model,
+                          double mc_time_s) {
+  const auto& geo = model.geometry();
+  const auto& box = model.box();
+  Header h;
+  h.kind = 2;
+  h.nx = geo.nx();
+  h.ny = geo.ny();
+  h.nz = geo.nz();
+  h.ox = box.ox;
+  h.oy = box.oy;
+  h.oz = box.oz;
+  h.lx = box.lx;
+  h.ly = box.ly;
+  h.lz = box.lz;
+  h.time = mc_time_s;
+  h.payload_count = model.owned_indices().size();
+  write_pod(os, h);
+  for (std::size_t idx : model.owned_indices()) {
+    write_pod(os, static_cast<std::uint8_t>(model.state(idx)));
+  }
+}
+
+double Checkpoint::load_kmc(std::istream& is, kmc::KmcModel& model) {
+  const Header h = read_header(is, 2);
+  const auto& geo = model.geometry();
+  const auto& box = model.box();
+  if (h.nx != geo.nx() || h.ny != geo.ny() || h.nz != geo.nz() ||
+      h.ox != box.ox || h.oy != box.oy || h.oz != box.oz || h.lx != box.lx ||
+      h.ly != box.ly || h.lz != box.lz) {
+    throw std::runtime_error("Checkpoint: geometry/decomposition mismatch");
+  }
+  if (h.payload_count != model.owned_indices().size()) {
+    throw std::runtime_error("Checkpoint: owned-site count mismatch");
+  }
+  for (std::size_t idx : model.owned_indices()) {
+    model.set_state(idx, static_cast<kmc::SiteState>(read_pod<std::uint8_t>(is)));
+  }
+  return h.time;
+}
+
+}  // namespace mmd::io

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "kmc/model.h"
+#include "lattice/lattice_neighbor_list.h"
+
+namespace mmd::io {
+
+/// Binary checkpointing of simulation state: versioned, header-validated
+/// stream format. An MD checkpoint captures every owned entry (atoms,
+/// vacancies, velocities, forces) plus the run-away pool; a KMC checkpoint
+/// captures the owned site states. Restores require a lattice/model built
+/// with the same geometry and decomposition — the header carries enough
+/// metadata to verify that and fail loudly instead of corrupting state.
+///
+/// Checkpoints are per rank (as on real machines: one file per rank).
+class Checkpoint {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4d4d4443;  // "MMDC"
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Serialize the owned state of a lattice neighbor list.
+  static void save_md(std::ostream& os, const lat::LatticeNeighborList& lnl,
+                      double time_ps);
+
+  /// Restore into a compatible lattice; returns the saved simulation time.
+  /// Ghosts are left UNSET — run a ghost exchange before computing forces.
+  static double load_md(std::istream& is, lat::LatticeNeighborList& lnl);
+
+  /// Serialize the owned sites of a KMC model plus the MC clock.
+  static void save_kmc(std::ostream& os, const kmc::KmcModel& model,
+                       double mc_time_s);
+
+  static double load_kmc(std::istream& is, kmc::KmcModel& model);
+
+ private:
+  struct Header {
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kVersion;
+    std::uint32_t kind = 0;  ///< 1 = MD, 2 = KMC
+    std::int32_t nx = 0, ny = 0, nz = 0;
+    std::int32_t ox = 0, oy = 0, oz = 0;
+    std::int32_t lx = 0, ly = 0, lz = 0;
+    double time = 0.0;
+    std::uint64_t payload_count = 0;
+  };
+
+  static Header read_header(std::istream& is, std::uint32_t expected_kind);
+};
+
+}  // namespace mmd::io

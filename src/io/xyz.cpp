@@ -1,0 +1,89 @@
+#include "io/xyz.h"
+
+#include <ostream>
+#include <vector>
+
+namespace mmd::io {
+
+const char* species_symbol(int species) {
+  switch (species) {
+    case -1: return "X";
+    case 0: return "Fe";
+    case 1: return "Cu";
+    default: return "?";
+  }
+}
+
+void XyzWriter::collect(const lat::LatticeNeighborList& lnl,
+                        std::vector<Record>* out) const {
+  for (std::size_t idx : lnl.owned_indices()) {
+    const lat::AtomEntry& e = lnl.entry(idx);
+    if (e.is_atom()) {
+      out->push_back({e.r, static_cast<std::int16_t>(e.type), 0, 0});
+    } else if (e.is_vacancy() && opts_.include_vacancies) {
+      out->push_back({e.r, -1, 0, 0});
+    }
+  }
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+    const lat::RunawayAtom& a = lnl.runaway(ri);
+    out->push_back({a.r, static_cast<std::int16_t>(a.type), 1, 0});
+  });
+}
+
+void XyzWriter::emit(std::ostream& os, const std::vector<Record>& records,
+                     const util::Vec3& box, double time_ps) const {
+  os << records.size() << '\n';
+  os << "Lattice=\"" << box.x << " 0 0 0 " << box.y << " 0 0 0 " << box.z
+     << "\" Properties=species:S:1:pos:R:3";
+  if (opts_.mark_runaways) os << ":runaway:I:1";
+  os << " Time=" << time_ps;
+  if (!opts_.comment.empty()) os << ' ' << opts_.comment;
+  os << '\n';
+  for (const Record& rec : records) {
+    os << species_symbol(rec.species) << ' ' << rec.r.x << ' ' << rec.r.y << ' '
+       << rec.r.z;
+    if (opts_.mark_runaways) os << ' ' << rec.runaway;
+    os << '\n';
+  }
+}
+
+void XyzWriter::write_frame(std::ostream& os, const lat::LatticeNeighborList& lnl,
+                            double time_ps) const {
+  std::vector<Record> records;
+  collect(lnl, &records);
+  emit(os, records, lnl.geometry().box_length(), time_ps);
+}
+
+void XyzWriter::write_frame_global(std::ostream& os, comm::Comm& comm,
+                                   const lat::LatticeNeighborList& lnl,
+                                   double time_ps) const {
+  constexpr int kTag = 9200;
+  std::vector<Record> records;
+  collect(lnl, &records);
+  if (comm.rank() != 0) {
+    comm.send(0, kTag, std::span<const Record>(records));
+    return;
+  }
+  for (int r = 1; r < comm.size(); ++r) {
+    auto part = comm.recv_vector<Record>(r, kTag);
+    records.insert(records.end(), part.begin(), part.end());
+  }
+  emit(os, records, lnl.geometry().box_length(), time_ps);
+}
+
+void XyzWriter::write_sites(std::ostream& os, const kmc::KmcModel& model) const {
+  std::vector<Record> records;
+  const auto& geo = model.geometry();
+  for (std::size_t idx : model.owned_indices()) {
+    const kmc::SiteState s = model.state(idx);
+    const util::Vec3 r = geo.position(geo.site_coord(model.site_rank_of(idx)));
+    if (s == kmc::SiteState::Vacancy) {
+      if (opts_.include_vacancies) records.push_back({r, -1, 0, 0});
+    } else {
+      records.push_back({r, static_cast<std::int16_t>(s), 0, 0});
+    }
+  }
+  emit(os, records, geo.box_length(), 0.0);
+}
+
+}  // namespace mmd::io

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "comm/world.h"
+#include "kmc/model.h"
+#include "lattice/lattice_neighbor_list.h"
+
+namespace mmd::io {
+
+/// Extended-XYZ trajectory writer for visualizing configurations in OVITO /
+/// VMD / ASE. One frame per call; species are written as element symbols,
+/// vacancies optionally as pseudo-atoms ("X") so damage is visible, and
+/// run-away atoms carry a flag column.
+class XyzWriter {
+ public:
+  struct Options {
+    bool include_vacancies = true;   ///< emit vacancies as species "X"
+    bool mark_runaways = true;       ///< extra 0/1 column for run-away atoms
+    std::string comment;             ///< appended to the frame comment line
+  };
+
+  XyzWriter() = default;
+  explicit XyzWriter(Options opts) : opts_(std::move(opts)) {}
+
+  /// Write one frame of a rank's owned atoms (and vacancies) to a stream.
+  void write_frame(std::ostream& os, const lat::LatticeNeighborList& lnl,
+                   double time_ps = 0.0) const;
+
+  /// Gather all ranks' frames to rank 0 and write a single global frame
+  /// (collective; only rank 0 writes).
+  void write_frame_global(std::ostream& os, comm::Comm& comm,
+                          const lat::LatticeNeighborList& lnl,
+                          double time_ps = 0.0) const;
+
+  /// Write a KMC site configuration (atoms by species, vacancies as "X").
+  void write_sites(std::ostream& os, const kmc::KmcModel& model) const;
+
+ private:
+  struct Record {
+    util::Vec3 r;
+    std::int16_t species;  ///< -1 vacancy, otherwise lat::Species
+    std::int16_t runaway;
+    std::int32_t pad = 0;
+  };
+
+  void collect(const lat::LatticeNeighborList& lnl,
+               std::vector<Record>* out) const;
+  void emit(std::ostream& os, const std::vector<Record>& records,
+            const util::Vec3& box, double time_ps) const;
+
+  Options opts_;
+};
+
+/// Element symbol for a species (or "X" for vacancies).
+const char* species_symbol(int species);
+
+}  // namespace mmd::io

@@ -1,0 +1,89 @@
+#include "kmc/clusters.h"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "lattice/neighbor_offsets.h"
+
+namespace mmd::kmc {
+
+namespace {
+
+/// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ClusterStats cluster_vacancies(const lat::BccGeometry& geo,
+                               std::span<const std::int64_t> vacancy_sites) {
+  ClusterStats out;
+  out.num_vacancies = vacancy_sites.size();
+  if (vacancy_sites.empty()) return out;
+
+  std::unordered_map<std::int64_t, std::size_t> index;
+  index.reserve(vacancy_sites.size() * 2);
+  for (std::size_t i = 0; i < vacancy_sites.size(); ++i) {
+    index.emplace(vacancy_sites[i], i);
+  }
+
+  // 1NN adjacency: the 8 shortest offsets of each sublattice.
+  const double nn_cut = 0.9 * geo.lattice_constant();  // > sqrt(3)/2 a, < a
+  std::vector<lat::SiteOffset> nn[2];
+  for (int sub = 0; sub <= 1; ++sub) {
+    nn[sub] = lat::bcc_neighbor_offsets(geo.lattice_constant(), nn_cut, sub);
+  }
+
+  UnionFind uf(vacancy_sites.size());
+  std::uint64_t with_neighbor = 0;
+  for (std::size_t i = 0; i < vacancy_sites.size(); ++i) {
+    const lat::SiteCoord c = geo.site_coord(vacancy_sites[i]);
+    bool any = false;
+    for (const auto& o : nn[c.sub]) {
+      const lat::SiteCoord n =
+          geo.wrap({c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub});
+      const auto it = index.find(geo.site_id(n));
+      if (it != index.end()) {
+        uf.unite(i, it->second);
+        any = true;
+      }
+    }
+    if (any) ++with_neighbor;
+  }
+  out.clustered_fraction = static_cast<double>(with_neighbor) /
+                           static_cast<double>(vacancy_sites.size());
+
+  std::unordered_map<std::size_t, std::uint64_t> sizes;
+  for (std::size_t i = 0; i < vacancy_sites.size(); ++i) ++sizes[uf.find(i)];
+  out.num_clusters = sizes.size();
+  for (const auto& [root, size] : sizes) {
+    out.size_histogram.add(static_cast<std::int64_t>(size));
+    out.max_size = std::max<std::uint64_t>(out.max_size, size);
+  }
+  out.mean_size = static_cast<double>(out.num_vacancies) /
+                  static_cast<double>(out.num_clusters);
+  return out;
+}
+
+}  // namespace mmd::kmc

@@ -1,0 +1,215 @@
+#include "kmc/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mmd::kmc {
+
+KmcSetup::KmcSetup(const KmcConfig& cfg, int nranks)
+    : geo(cfg.nx, cfg.ny, cfg.nz, cfg.lattice_constant),
+      dd(geo, nranks,
+         lat::required_halo_cells(cfg.lattice_constant, cfg.cutoff) + 1) {}
+
+KmcEngine::KmcEngine(const KmcConfig& cfg, const lat::BccGeometry& geo,
+                     const lat::DomainDecomposition& dd,
+                     const pot::EamTableSet& tables, int rank,
+                     GhostStrategy strategy)
+    : cfg_(cfg),
+      model_(cfg, geo, dd, tables, rank),
+      ghosts_(geo, dd, rank, model_.box().halo, strategy),
+      base_rng_(cfg.seed) {}
+
+void KmcEngine::initialize_random(comm::Comm& comm, double vacancy_concentration,
+                                  double solute_fraction) {
+  const util::Rng site_rng(cfg_.seed ^ 0x5eedf00dull);
+  for (std::size_t idx : model_.owned_indices()) {
+    util::Rng r = site_rng.split(
+        static_cast<std::uint64_t>(model_.site_rank_of(idx)));
+    SiteState s = SiteState::Fe;
+    if (r.uniform() < vacancy_concentration) {
+      s = SiteState::Vacancy;
+    } else if (solute_fraction > 0.0 && r.uniform() < solute_fraction) {
+      s = SiteState::Cu;
+    }
+    model_.set_state(idx, s);
+  }
+  comm_time_.start();
+  ghosts_.initialize(comm, model_);
+  comm_time_.stop();
+  initialized_ = true;
+}
+
+void KmcEngine::initialize_sites(comm::Comm& comm,
+                                 std::span<const std::int64_t> owned_vacancies) {
+  for (std::int64_t gid : owned_vacancies) {
+    model_.set_state_global(gid, SiteState::Vacancy);
+  }
+  comm_time_.start();
+  ghosts_.initialize(comm, model_);
+  comm_time_.stop();
+  initialized_ = true;
+}
+
+int KmcEngine::sector_of(const lat::LocalCoord& c) const {
+  const lat::LocalBox& b = model_.box();
+  const int hx = c.x >= b.lx / 2 ? 1 : 0;
+  const int hy = c.y >= b.ly / 2 ? 1 : 0;
+  const int hz = c.z >= b.lz / 2 ? 1 : 0;
+  return (hz << 2) | (hy << 1) | hx;
+}
+
+void KmcEngine::build_events(int sector, std::vector<Event>& out,
+                             double* max_rate) {
+  out.clear();
+  const lat::LocalBox& b = model_.box();
+  std::vector<EventCandidate> candidates;
+  for (std::size_t idx : model_.owned_indices()) {
+    if (model_.state(idx) != SiteState::Vacancy) continue;
+    const lat::LocalCoord c = b.coord_of(idx);
+    if (sector_of(c) != sector) continue;
+    for (const auto& o : model_.nn_offsets(c.sub)) {
+      const lat::LocalCoord n{c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub};
+      if (!b.in_storage(n)) continue;
+      const std::size_t ni = b.entry_index(n);
+      if (!is_atom(model_.state(ni))) continue;
+      candidates.push_back({idx, ni});
+    }
+  }
+  // Exchange energies: master-core path, or batched on the slave cores
+  // (paper §2.2 — the same interpolation machinery as MD).
+  std::vector<double> dE;
+  if (slave_rates_ != nullptr) {
+    dE = slave_rates_->exchange_dE_batch(model_, candidates);
+  } else {
+    dE.reserve(candidates.size());
+    for (const EventCandidate& ev : candidates) {
+      dE.push_back(model_.exchange_dE(ev.vac, ev.nb));
+    }
+  }
+  out.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double k = model_.rate(dE[i]);
+    out.push_back({candidates[i].vac, candidates[i].nb, k});
+    if (max_rate != nullptr) *max_rate = std::max(*max_rate, k);
+  }
+}
+
+void KmcEngine::process_sector(comm::Comm& comm, int sector, double dt,
+                               std::uint64_t cycle) {
+  comm_time_.start();
+  ghosts_.before_sector(comm, model_, sector);
+  comm_time_.stop();
+
+  comp_.start();
+  util::Rng rng = base_rng_.split(cycle * 8 + static_cast<std::uint64_t>(sector))
+                      .split(static_cast<std::uint64_t>(model_.rank()) + 1);
+  std::vector<Event> events;
+  double max_rate = 0.0;
+  build_events(sector, events, &max_rate);
+  last_max_rate_ = std::max(last_max_rate_, max_rate);
+
+  std::vector<std::int64_t> touched;
+  double tau = 0.0;
+  while (!events.empty()) {
+    double total = 0.0;
+    for (const Event& e : events) total += e.rate;
+    if (total <= 0.0) break;
+    // BKL residence time: advance the sector clock before executing; if the
+    // event would land beyond dt it is not executed this cycle.
+    tau += -std::log(std::max(rng.uniform(), 1e-300)) / total;
+    if (tau > dt) break;
+    double pick = rng.uniform() * total;
+    std::size_t chosen = events.size() - 1;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      pick -= events[i].rate;
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    const Event ev = events[chosen];
+    const std::int64_t gid_vac = model_.site_rank_of(ev.vac);
+    const std::int64_t gid_atom = model_.site_rank_of(ev.nb);
+    const SiteState atom = model_.state(ev.nb);
+    static const bool kDebugEvents = std::getenv("MMD_KMC_DEBUG") != nullptr;
+    if (kDebugEvents) {
+      std::fprintf(stderr, "[ev] cyc %llu sec %d rank %d: vac %lld <-> %lld (%d)\n",
+                   static_cast<unsigned long long>(cycle), sector, model_.rank(),
+                   static_cast<long long>(gid_vac),
+                   static_cast<long long>(gid_atom), static_cast<int>(atom));
+    }
+    model_.set_state_global(gid_vac, atom);
+    model_.set_state_global(gid_atom, SiteState::Vacancy);
+    touched.push_back(gid_vac);
+    touched.push_back(gid_atom);
+    ++stats_.events;
+    double mr = 0.0;
+    build_events(sector, events, &mr);
+    last_max_rate_ = std::max(last_max_rate_, mr);
+  }
+
+  // Final states of all touched sites (a site may have been swapped twice).
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::vector<SiteUpdate> updates;
+  updates.reserve(touched.size());
+  std::vector<std::size_t> images;
+  for (std::int64_t gid : touched) {
+    model_.images_of_global(gid, images);
+    updates.push_back({gid, static_cast<std::int32_t>(model_.state(images[0])), 0});
+  }
+  comp_.stop();
+
+  comm_time_.start();
+  ghosts_.after_sector(comm, model_, sector, updates);
+  comm_time_.stop();
+}
+
+std::uint64_t KmcEngine::run_cycles(comm::Comm& comm, int n) {
+  const std::uint64_t before = stats_.events;
+  // Upper bound on any single-event rate: barrier clamped at min_barrier.
+  const double k_bound = cfg_.prefactor *
+                         std::exp(-cfg_.min_barrier /
+                                  (util::units::kBoltzmann * cfg_.temperature));
+  for (int i = 0; i < n; ++i) {
+    // Time synchronization (paper: "collective operations used for time
+    // synchronization"): dt derives from the fastest event seen globally in
+    // the previous cycle, bounded by the analytic maximum.
+    comm_time_.start();
+    double k_max = comm.allreduce_max(last_max_rate_);
+    comm_time_.stop();
+    if (k_max <= 0.0) k_max = k_bound;
+    const double dt = cfg_.dt_scale / k_max;
+    last_max_rate_ = 0.0;
+    for (int sector = 0; sector < 8; ++sector) {
+      process_sector(comm, sector, dt, stats_.cycles);
+    }
+    stats_.mc_time += dt;
+    ++stats_.cycles;
+  }
+  return stats_.events - before;
+}
+
+void KmcEngine::run_to_threshold(comm::Comm& comm) {
+  while (stats_.mc_time < cfg_.t_threshold) {
+    run_cycles(comm, 1);
+  }
+}
+
+std::vector<std::int64_t> KmcEngine::gather_vacancies(comm::Comm& comm) const {
+  const auto mine = model_.owned_vacancy_sites();
+  auto all = comm.gather_to<std::int64_t>(0, mine, /*tag=*/9000);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+double KmcEngine::vacancy_concentration(comm::Comm& comm) const {
+  const auto vac = comm.allreduce_sum_u64(
+      static_cast<std::uint64_t>(model_.count_owned_vacancies()));
+  return static_cast<double>(vac) /
+         static_cast<double>(model_.geometry().num_sites());
+}
+
+}  // namespace mmd::kmc

@@ -1,0 +1,216 @@
+#include "kmc/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmd::kmc {
+
+double real_time_scale(double t_threshold_s, double vacancy_concentration,
+                       double temperature, double formation_energy) {
+  const double c_real =
+      std::exp(-formation_energy / (util::units::kBoltzmann * temperature));
+  return t_threshold_s * vacancy_concentration / c_real;
+}
+
+KmcModel::KmcModel(const KmcConfig& cfg, const lat::BccGeometry& geo,
+                   const lat::DomainDecomposition& dd,
+                   const pot::EamTableSet& tables, int rank)
+    : cfg_(cfg),
+      geo_(&geo),
+      box_(dd.local_box(rank)),
+      tables_(&tables),
+      rank_(rank),
+      kT_(util::units::kBoltzmann * cfg.temperature) {
+  // The box halo must cover the EAM cutoff PLUS one cell, because the energy
+  // of a ghost exchange partner (one cell into the halo) is evaluated over
+  // its own cutoff neighborhood.
+  const int needed = lat::required_halo_cells(cfg.lattice_constant, cfg.cutoff) + 1;
+  if (box_.halo < needed) {
+    throw std::invalid_argument("KmcModel: halo too small for cutoff + ghost events");
+  }
+  for (int sub = 0; sub <= 1; ++sub) {
+    offsets_[sub] = lat::bcc_neighbor_offsets(cfg.lattice_constant, cfg.cutoff, sub);
+    nn_[sub].assign(offsets_[sub].begin(), offsets_[sub].begin() + 8);
+    deltas_[sub].reserve(offsets_[sub].size());
+    for (const auto& o : offsets_[sub]) {
+      deltas_[sub].push_back(box_.flat_delta(o.dx, o.dy, o.dz, o.to_sub - sub));
+    }
+    nn_deltas_[sub].assign(deltas_[sub].begin(), deltas_[sub].begin() + 8);
+  }
+  // Sanity: the first 8 offsets of a BCC lattice are the 1NN shell at
+  // sqrt(3)/2 * a.
+  const double d1 = std::sqrt(nn_[0][0].dist2);
+  if (std::abs(d1 - std::sqrt(3.0) / 2.0 * cfg.lattice_constant) > 1e-9) {
+    throw std::logic_error("KmcModel: unexpected first-neighbor shell");
+  }
+  // Per-shell caches: every (species pair, offset) gets its table value
+  // precomputed (see f_shell/phi_shell).
+  const auto n_sp = static_cast<std::size_t>(tables.num_species);
+  const std::size_t n_pairs = n_sp * (n_sp + 1) / 2;
+  for (int sub = 0; sub <= 1; ++sub) {
+    const std::size_t n_off = offsets_[sub].size();
+    f_cache_[sub].resize(n_pairs * n_off);
+    phi_cache_[sub].resize(n_pairs * n_off);
+    for (int i = 0; i < tables.num_species; ++i) {
+      for (int j = i; j < tables.num_species; ++j) {
+        const std::size_t p = tables.pair_index(i, j);
+        for (std::size_t k = 0; k < n_off; ++k) {
+          const double r = std::sqrt(offsets_[sub][k].dist2);
+          f_cache_[sub][p * n_off + k] = tables.f(i, j).value(r);
+          phi_cache_[sub][p * n_off + k] = tables.phi(i, j).value(r);
+        }
+      }
+    }
+  }
+  sites_.assign(box_.num_entries(), SiteState::Fe);
+  owned_.reserve(box_.num_owned_sites());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (box_.owns(box_.coord_of(i))) owned_.push_back(i);
+  }
+}
+
+std::int64_t KmcModel::site_rank_of(std::size_t idx) const {
+  const lat::LocalCoord c = box_.coord_of(idx);
+  return geo_->site_id(
+      geo_->wrap({c.x + box_.ox, c.y + box_.oy, c.z + box_.oz, c.sub}));
+}
+
+void KmcModel::images_of_global(std::int64_t gid,
+                                std::vector<std::size_t>& out) const {
+  out.clear();
+  const lat::SiteCoord g = geo_->site_coord(gid);
+  // Representatives of each axis coordinate within [-halo, l+halo).
+  auto reps = [&](int gc, int origin, int len, int n, int* buf) {
+    int cnt = 0;
+    // Candidate local coords differ by multiples of the box period; start
+    // from the smallest representative >= -halo.
+    int base = (gc - origin) % n;
+    while (base - n >= -box_.halo) base -= n;
+    while (base < -box_.halo) base += n;
+    for (int c = base; c < len + box_.halo && cnt < 4; c += n) {
+      buf[cnt++] = c;
+    }
+    return cnt;
+  };
+  int xs[4], ys[4], zs[4];
+  const int nx = reps(g.x, box_.ox, box_.lx, geo_->nx(), xs);
+  const int ny = reps(g.y, box_.oy, box_.ly, geo_->ny(), ys);
+  const int nz = reps(g.z, box_.oz, box_.lz, geo_->nz(), zs);
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        out.push_back(box_.entry_index({xs[ix], ys[iy], zs[iz], g.sub}));
+      }
+    }
+  }
+}
+
+void KmcModel::set_state_global(std::int64_t gid, SiteState s) {
+  std::vector<std::size_t> images;
+  images_of_global(gid, images);
+  for (std::size_t i : images) sites_[i] = s;
+}
+
+bool KmcModel::in_storage_global(std::int64_t gid) const {
+  std::vector<std::size_t> images;
+  images_of_global(gid, images);
+  return !images.empty();
+}
+
+double KmcModel::rho_at(std::size_t idx, int center_type) const {
+  const lat::LocalCoord c = box_.coord_of(idx);
+  double rho = 0.0;
+  const auto& offs = offsets_[c.sub];
+  for (std::size_t k = 0; k < offs.size(); ++k) {
+    const auto& o = offs[k];
+    const lat::LocalCoord n{c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub};
+    if (!box_.in_storage(n)) continue;
+    const SiteState s = sites_[box_.entry_index(n)];
+    if (!is_atom(s)) continue;
+    rho += f_shell(c.sub, center_type, static_cast<int>(s), k);
+  }
+  return rho;
+}
+
+double KmcModel::pair_energy_at(std::size_t idx, std::size_t exclude,
+                                int center_type) const {
+  const lat::LocalCoord c = box_.coord_of(idx);
+  double e = 0.0;
+  const auto& offs = offsets_[c.sub];
+  for (std::size_t k = 0; k < offs.size(); ++k) {
+    const auto& o = offs[k];
+    const lat::LocalCoord n{c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub};
+    if (!box_.in_storage(n)) continue;
+    const std::size_t ni = box_.entry_index(n);
+    if (ni == exclude) continue;
+    const SiteState s = sites_[ni];
+    if (!is_atom(s)) continue;
+    e += phi_shell(c.sub, center_type, static_cast<int>(s), k);
+  }
+  return e;
+}
+
+double KmcModel::exchange_dE(std::size_t vac_idx, std::size_t atom_idx) const {
+  // Local energy of the hopping atom before (at atom_idx) and after (at
+  // vac_idx, with atom_idx now empty): embedding + pair terms. On-lattice
+  // positions make all distances ideal-lattice distances.
+  const SiteState atom = sites_[atom_idx];
+  const int t = static_cast<int>(atom);
+  const auto& embed = tables_->embed_of(t);
+  const double e_before =
+      embed.value(rho_at(atom_idx, t)) +
+      pair_energy_at(atom_idx, static_cast<std::size_t>(-1), t);
+  // After the swap, the atom sits at vac_idx; its density/pairs must not
+  // count its old position (now a vacancy).
+  // After the swap the atom sits at vac_idx with atom_idx empty: rho at
+  // vac_idx currently still counts the atom at its old position, so remove
+  // that one contribution explicitly.
+  const double rho_after = rho_at(vac_idx, t);
+  const lat::LocalCoord cv = box_.coord_of(vac_idx);
+  double rho_corr = 0.0;
+  for (const auto& o : offsets_[cv.sub]) {
+    const lat::LocalCoord n{cv.x + o.dx, cv.y + o.dy, cv.z + o.dz, o.to_sub};
+    if (!box_.in_storage(n)) continue;
+    if (box_.entry_index(n) == atom_idx) {
+      rho_corr = tables_->f(t, t).value(std::sqrt(o.dist2));
+      break;
+    }
+  }
+  const double e_after = embed.value(rho_after - rho_corr) +
+                         pair_energy_at(vac_idx, atom_idx, t);
+  return e_after - e_before;
+}
+
+double KmcModel::rate(double dE) const {
+  const double barrier =
+      std::max(cfg_.migration_barrier + 0.5 * dE, cfg_.min_barrier);
+  return cfg_.prefactor * std::exp(-barrier / kT_);
+}
+
+std::size_t KmcModel::count_owned_vacancies() const {
+  std::size_t n = 0;
+  for (std::size_t i : owned_) {
+    if (sites_[i] == SiteState::Vacancy) ++n;
+  }
+  return n;
+}
+
+std::vector<std::int64_t> KmcModel::owned_vacancy_sites() const {
+  std::vector<std::int64_t> out;
+  for (std::size_t i : owned_) {
+    if (sites_[i] == SiteState::Vacancy) out.push_back(site_rank_of(i));
+  }
+  return out;
+}
+
+std::size_t KmcModel::memory_bytes() const {
+  std::size_t b = sites_.capacity() * sizeof(SiteState);
+  b += owned_.capacity() * sizeof(std::size_t);
+  for (int sub = 0; sub <= 1; ++sub) {
+    b += offsets_[sub].capacity() * sizeof(lat::SiteOffset);
+    b += deltas_[sub].capacity() * sizeof(std::int64_t);
+  }
+  return b;
+}
+
+}  // namespace mmd::kmc

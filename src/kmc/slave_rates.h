@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kmc/model.h"
+#include "sunway/slave_pool.h"
+
+namespace mmd::kmc {
+
+/// A candidate vacancy-exchange event (local storage indices).
+struct EventCandidate {
+  std::size_t vac = 0;
+  std::size_t nb = 0;
+};
+
+/// Slave-core accelerated exchange-energy evaluation (paper §2.2: the KMC
+/// EAM interpolation "is the same as MD and can be accelerated by the slave
+/// cores").
+///
+/// Candidates are partitioned over the slave cores. Each core stages the
+/// compacted table of the active pass in its local store and, per candidate,
+/// DMAs the two (2h+1)^3-cell site-state windows around the vacancy and its
+/// partner (a few hundred bytes each — KMC state is one byte per site, the
+/// "data compaction" effect is even stronger than in MD). Two table passes
+/// mirror the MD kernel:
+///   pass f   (density table resident): host densities before/after the swap
+///   pass phi (pair table resident)   : pair-energy sums before/after
+/// The embedding terms (two lookups per candidate) are applied on the master
+/// core. Results are bit-compatible with KmcModel::exchange_dE.
+class SlaveRateCompute {
+ public:
+  SlaveRateCompute(const pot::EamTableSet& tables, sw::SlaveCorePool& pool);
+
+  /// dE for every candidate, in order.
+  std::vector<double> exchange_dE_batch(const KmcModel& model,
+                                        const std::vector<EventCandidate>& events);
+
+  sw::DmaStats dma_stats() const { return pool_->aggregate_dma_stats(); }
+  void reset_stats() { pool_->reset_stats(); }
+
+ private:
+  enum class Pass { Density, Pair };
+
+  void run_pass(const KmcModel& model, const std::vector<EventCandidate>& events,
+                Pass pass, std::vector<double>& before,
+                std::vector<double>& after);
+
+  const pot::EamTableSet* tables_;
+  sw::SlaveCorePool* pool_;
+};
+
+}  // namespace mmd::kmc

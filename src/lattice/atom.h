@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/vec3.h"
+
+namespace mmd::lat {
+
+/// Chemical species. Fe is the paper's primary material; Cu enables the
+/// Fe-Cu alloy configuration of §2.1.2.
+enum class Species : std::int16_t { Fe = 0, Cu = 1 };
+
+/// State of one lattice-point entry in the lattice neighbor list.
+///
+/// The paper stores atom information "sequentially in an array in the order
+/// of the atoms' ranks" and marks a vacancy by flipping the ID negative
+/// (§2.1.1, Fig. 3). We encode:
+///   id >= 0            : atom with global site rank `id`
+///   id == kVacancy(g)  : vacancy at global site rank g (id = -g - 1)
+///   id == kUnset       : ghost entry not yet filled by an exchange
+struct AtomEntry {
+  util::Vec3 r;          ///< position [A]
+  util::Vec3 v;          ///< velocity [A/ps]
+  util::Vec3 f;          ///< force [eV/A]
+  double rho = 0.0;      ///< accumulated electron density at this atom
+  std::int64_t id = kUnset;
+  std::int32_t runaway_head = kNoRunaway;  ///< head of linked run-away chain
+  Species type = Species::Fe;
+  std::int16_t pad = 0;
+
+  static constexpr std::int64_t kUnset = INT64_MIN;
+  static constexpr std::int32_t kNoRunaway = -1;
+
+  static constexpr std::int64_t vacancy_id(std::int64_t site_rank) {
+    return -site_rank - 1;
+  }
+  static constexpr std::int64_t vacancy_site(std::int64_t id) { return -id - 1; }
+
+  bool is_atom() const { return id >= 0; }
+  bool is_vacancy() const { return id < 0 && id != kUnset; }
+  bool is_unset() const { return id == kUnset; }
+};
+
+/// A run-away atom: an atom that left its lattice point. It is stored in a
+/// pool and linked (via `next`) into the chain of its nearest lattice point,
+/// the paper's linked-list improvement over the flat array of [Hu 2017].
+struct RunawayAtom {
+  util::Vec3 r;
+  util::Vec3 v;
+  util::Vec3 f;
+  double rho = 0.0;
+  std::int64_t id = 0;  ///< original global site rank of the atom
+  Species type = Species::Fe;
+  std::int16_t pad = 0;
+  std::int32_t next = AtomEntry::kNoRunaway;  ///< next node in host chain
+};
+
+}  // namespace mmd::lat

@@ -1,0 +1,128 @@
+#include "lattice/decomposition.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mmd::lat {
+
+DomainDecomposition::DomainDecomposition(const BccGeometry& geo, int nranks,
+                                         int halo)
+    : geo_(&geo), halo_(halo) {
+  if (nranks <= 0) throw std::invalid_argument("DomainDecomposition: nranks must be positive");
+  if (halo < 0) throw std::invalid_argument("DomainDecomposition: halo must be non-negative");
+  const auto g = choose_grid(nranks, geo.nx(), geo.ny(), geo.nz(), halo);
+  px_ = g[0];
+  py_ = g[1];
+  pz_ = g[2];
+  if (px_ * py_ * pz_ != nranks) {
+    throw std::invalid_argument(
+        "DomainDecomposition: no factorization of nranks fits the box with the "
+        "required halo width");
+  }
+}
+
+std::array<int, 3> DomainDecomposition::coords_of(int rank) const {
+  return {rank % px_, (rank / px_) % py_, rank / (px_ * py_)};
+}
+
+int DomainDecomposition::rank_of(int rx, int ry, int rz) const {
+  auto mod = [](int v, int n) {
+    const int m = v % n;
+    return m < 0 ? m + n : m;
+  };
+  return (mod(rz, pz_) * py_ + mod(ry, py_)) * px_ + mod(rx, px_);
+}
+
+LocalBox DomainDecomposition::local_box(int rank) const {
+  const auto c = coords_of(rank);
+  LocalBox box;
+  box.halo = halo_;
+  auto [x0, x1] = split(geo_->nx(), px_, c[0]);
+  auto [y0, y1] = split(geo_->ny(), py_, c[1]);
+  auto [z0, z1] = split(geo_->nz(), pz_, c[2]);
+  box.ox = x0;
+  box.oy = y0;
+  box.oz = z0;
+  box.lx = x1 - x0;
+  box.ly = y1 - y0;
+  box.lz = z1 - z0;
+  return box;
+}
+
+int DomainDecomposition::neighbor(int rank, int axis, int dir) const {
+  auto c = coords_of(rank);
+  c[static_cast<std::size_t>(axis)] += dir;
+  return rank_of(c[0], c[1], c[2]);
+}
+
+int DomainDecomposition::rank_of_cell(int gx, int gy, int gz) const {
+  auto part = [](int cell, int ncells, int nparts) {
+    // Splits are lo_i = floor(ncells*i/nparts); invert with a guarded guess.
+    int i = static_cast<int>((static_cast<long>(cell) * nparts) / ncells);
+    i = std::min(i, nparts - 1);
+    while (i > 0 && cell < static_cast<int>(static_cast<long>(ncells) * i / nparts)) --i;
+    while (i + 1 < nparts &&
+           cell >= static_cast<int>(static_cast<long>(ncells) * (i + 1) / nparts)) {
+      ++i;
+    }
+    return i;
+  };
+  return rank_of(part(gx, geo_->nx(), px_), part(gy, geo_->ny(), py_),
+                 part(gz, geo_->nz(), pz_));
+}
+
+std::vector<int> DomainDecomposition::neighbor_ranks(int rank) const {
+  const auto c = coords_of(rank);
+  std::vector<int> out;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int r = rank_of(c[0] + dx, c[1] + dy, c[2] + dz);
+        if (r != rank) out.push_back(r);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::array<int, 3> DomainDecomposition::choose_grid(int n, int nx, int ny,
+                                                    int nz, int halo) {
+  // A split into p parts of an axis with c cells is valid when every part is
+  // at least `halo` cells wide, i.e. floor(c/p) >= halo (and >= 1).
+  auto fits = [halo](int cells, int parts) {
+    if (parts > cells) return false;
+    const int min_part = cells / parts;
+    return min_part >= std::max(1, halo);
+  };
+  std::array<int, 3> best{0, 0, 0};
+  long best_cost = std::numeric_limits<long>::max();
+  for (int px = 1; px <= n; ++px) {
+    if (n % px != 0 || !fits(nx, px)) continue;
+    const int rem = n / px;
+    for (int py = 1; py <= rem; ++py) {
+      if (rem % py != 0 || !fits(ny, py)) continue;
+      const int pz = rem / py;
+      if (!fits(nz, pz)) continue;
+      // Surface-area proxy: sum of pairwise products of subdomain extents.
+      const long ax = nx / px, ay = ny / py, az = nz / pz;
+      const long cost = ax * ay + ay * az + az * ax;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = {px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+std::pair<int, int> DomainDecomposition::split(int ncells, int nparts, int part) {
+  const auto lo = static_cast<int>(static_cast<long>(ncells) * part / nparts);
+  const auto hi = static_cast<int>(static_cast<long>(ncells) * (part + 1) / nparts);
+  return {lo, hi};
+}
+
+}  // namespace mmd::lat

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "lattice/geometry.h"
+#include "lattice/local_box.h"
+
+namespace mmd::lat {
+
+/// Standard 3D domain decomposition of the periodic simulation box across
+/// ranks (paper §2: "we use the standard domain decomposition to equally
+/// partition the simulation box").
+///
+/// The rank grid (px, py, pz) is chosen to minimize subdomain surface area.
+/// Each subdomain must be at least `halo` cells wide in every axis so that
+/// the three-phase ghost exchange only ever talks to face neighbors.
+class DomainDecomposition {
+ public:
+  DomainDecomposition(const BccGeometry& geo, int nranks, int halo);
+
+  int nranks() const { return px_ * py_ * pz_; }
+  std::array<int, 3> grid() const { return {px_, py_, pz_}; }
+
+  std::array<int, 3> coords_of(int rank) const;
+  int rank_of(int rx, int ry, int rz) const;
+
+  /// Owned cell box (with halo metadata) of a rank.
+  LocalBox local_box(int rank) const;
+
+  /// Rank of the periodic face neighbor along `axis` (0..2) in direction
+  /// `dir` (-1 or +1).
+  int neighbor(int rank, int axis, int dir) const;
+
+  /// Rank owning a global (wrapped, in-box) cell coordinate.
+  int rank_of_cell(int gx, int gy, int gz) const;
+
+  /// The up-to-26 distinct ranks adjacent to `rank` (excluding itself unless
+  /// the grid wraps onto it), sorted ascending.
+  std::vector<int> neighbor_ranks(int rank) const;
+
+  /// Choose a near-cubic factorization of n into 3 factors, each factor not
+  /// exceeding the number of cells available on that axis divided by halo.
+  static std::array<int, 3> choose_grid(int n, int nx, int ny, int nz, int halo);
+
+ private:
+  static std::pair<int, int> split(int ncells, int nparts, int part);
+
+  const BccGeometry* geo_;
+  int halo_;
+  int px_, py_, pz_;
+};
+
+}  // namespace mmd::lat

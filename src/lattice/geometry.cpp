@@ -1,0 +1,61 @@
+#include "lattice/geometry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmd::lat {
+
+BccGeometry::BccGeometry(int nx, int ny, int nz, double a)
+    : nx_(nx), ny_(ny), nz_(nz), a_(a) {
+  if (nx <= 0 || ny <= 0 || nz <= 0 || a <= 0.0) {
+    throw std::invalid_argument("BccGeometry: dimensions and lattice constant must be positive");
+  }
+}
+
+SiteCoord BccGeometry::site_coord(std::int64_t id) const {
+  SiteCoord c;
+  c.sub = static_cast<int>(id & 1);
+  std::int64_t cell = id >> 1;
+  c.x = static_cast<int>(cell % nx_);
+  cell /= nx_;
+  c.y = static_cast<int>(cell % ny_);
+  c.z = static_cast<int>(cell / ny_);
+  return c;
+}
+
+SiteCoord BccGeometry::wrap(SiteCoord c) const {
+  auto mod = [](int v, int n) {
+    const int m = v % n;
+    return m < 0 ? m + n : m;
+  };
+  c.x = mod(c.x, nx_);
+  c.y = mod(c.y, ny_);
+  c.z = mod(c.z, nz_);
+  return c;
+}
+
+SiteCoord BccGeometry::nearest_site(const util::Vec3& r) const {
+  // Candidate on each sublattice, then pick the closer one. Corner sites sit
+  // at integer multiples of a; center sites at half-integer multiples.
+  const util::Vec3 s = r / a_;
+  SiteCoord corner{static_cast<int>(std::lround(s.x)),
+                   static_cast<int>(std::lround(s.y)),
+                   static_cast<int>(std::lround(s.z)), 0};
+  SiteCoord center{static_cast<int>(std::lround(s.x - 0.5)),
+                   static_cast<int>(std::lround(s.y - 0.5)),
+                   static_cast<int>(std::lround(s.z - 0.5)), 1};
+  const double d_corner = min_image(position(corner), r).norm2();
+  const double d_center = min_image(position(center), r).norm2();
+  return wrap(d_corner <= d_center ? corner : center);
+}
+
+util::Vec3 BccGeometry::min_image(const util::Vec3& a, const util::Vec3& b) const {
+  util::Vec3 d = b - a;
+  const util::Vec3 box = box_length();
+  d.x -= box.x * std::nearbyint(d.x / box.x);
+  d.y -= box.y * std::nearbyint(d.y / box.y);
+  d.z -= box.z * std::nearbyint(d.z / box.z);
+  return d;
+}
+
+}  // namespace mmd::lat

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/vec3.h"
+
+namespace mmd::lat {
+
+/// Integer coordinates of one BCC lattice site: unit cell (x, y, z) plus the
+/// sublattice index `sub` (0 = cube corner, 1 = body center, paper Fig. 1).
+struct SiteCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  int sub = 0;
+
+  friend bool operator==(const SiteCoord&, const SiteCoord&) = default;
+};
+
+/// Geometry of a periodic BCC simulation box of nx*ny*nz unit cells with
+/// lattice constant `a`. Provides the global site-id ranking used by the
+/// lattice neighbor list: sites are ranked in the order of their spatial
+/// distribution (paper §2.1.1), i.e. id = 2*((z*ny + y)*nx + x) + sub.
+class BccGeometry {
+ public:
+  BccGeometry(int nx, int ny, int nz, double a);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  double lattice_constant() const { return a_; }
+
+  /// Two sites per unit cell.
+  std::int64_t num_sites() const {
+    return 2ll * nx_ * static_cast<std::int64_t>(ny_) * nz_;
+  }
+
+  util::Vec3 box_length() const { return {nx_ * a_, ny_ * a_, nz_ * a_}; }
+
+  /// Global rank of a site (requires in-box coordinates; wrap() first if
+  /// needed).
+  std::int64_t site_id(const SiteCoord& c) const {
+    return 2 * ((static_cast<std::int64_t>(c.z) * ny_ + c.y) * nx_ + c.x) + c.sub;
+  }
+
+  SiteCoord site_coord(std::int64_t id) const;
+
+  /// Ideal (zero-temperature) position of a site.
+  util::Vec3 position(const SiteCoord& c) const {
+    const double half = 0.5 * c.sub;
+    return {(c.x + half) * a_, (c.y + half) * a_, (c.z + half) * a_};
+  }
+
+  /// Apply periodic boundary conditions to integer cell coordinates.
+  SiteCoord wrap(SiteCoord c) const;
+
+  /// Whether coordinates are inside the primary box (no wrap needed).
+  bool in_box(const SiteCoord& c) const {
+    return c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_ && c.z >= 0 &&
+           c.z < nz_ && (c.sub == 0 || c.sub == 1);
+  }
+
+  /// Nearest lattice site to an arbitrary position (used to link run-away
+  /// atoms to their closest lattice point, paper §2.1.1). The returned
+  /// coordinates are wrapped into the box.
+  SiteCoord nearest_site(const util::Vec3& r) const;
+
+  /// Minimum-image displacement b - a under periodic boundaries.
+  util::Vec3 min_image(const util::Vec3& a, const util::Vec3& b) const;
+
+ private:
+  int nx_, ny_, nz_;
+  double a_;
+};
+
+}  // namespace mmd::lat

@@ -1,0 +1,311 @@
+#include "lattice/ghost_exchange.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mmd::lat {
+
+namespace {
+
+// Message tags: base + axis*2 + side so concurrent phases never cross-match.
+constexpr int kTagEntries = 100;
+constexpr int kTagChains = 200;
+constexpr int kTagEmigrants = 300;
+constexpr int kTagRho = 400;
+constexpr int kTagRhoChains = 500;
+
+int tag_for(int base, int axis, int side) { return base + axis * 2 + side; }
+
+struct Range {
+  int lo, hi;
+};
+
+// Canonical slab index list: iterate z, y, x ascending, two subs per cell.
+std::vector<std::size_t> slab_indices(const LocalBox& b, Range xr, Range yr,
+                                      Range zr) {
+  std::vector<std::size_t> out;
+  out.reserve(2ull * static_cast<std::size_t>(xr.hi - xr.lo) *
+              static_cast<std::size_t>(yr.hi - yr.lo) *
+              static_cast<std::size_t>(zr.hi - zr.lo));
+  for (int z = zr.lo; z < zr.hi; ++z) {
+    for (int y = yr.lo; y < yr.hi; ++y) {
+      for (int x = xr.lo; x < xr.hi; ++x) {
+        for (int sub = 0; sub <= 1; ++sub) {
+          out.push_back(b.entry_index({x, y, z, sub}));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GhostExchange::GhostExchange(LatticeNeighborList& lnl,
+                             const DomainDecomposition& dd, int rank)
+    : lnl_(&lnl), rank_(rank) {
+  const LocalBox& b = lnl.box();
+  const BccGeometry& geo = lnl.geometry();
+  const int h = b.halo;
+  const auto grid = dd.grid();
+  const auto coords = dd.coords_of(rank);
+  const util::Vec3 L = geo.box_length();
+  const int owned[3] = {b.lx, b.ly, b.lz};
+
+  for (int axis = 0; axis < 3; ++axis) {
+    // Extents on the other two axes grow as earlier phases fill the halo.
+    auto cross_range = [&](int other_axis) -> Range {
+      const int len = owned[other_axis];
+      return other_axis < axis ? Range{-h, len + h} : Range{0, len};
+    };
+    Range xr{0, b.lx}, yr{0, b.ly}, zr{0, b.lz};
+    Range* ranges[3] = {&xr, &yr, &zr};
+    for (int o = 0; o < 3; ++o) {
+      if (o != axis) *ranges[o] = cross_range(o);
+    }
+    for (int side = 0; side < 2; ++side) {
+      Side& s = sides_[axis][side];
+      const int dir = side == 0 ? -1 : +1;
+      s.peer = dd.neighbor(rank, axis, dir);
+      // Send slab: my border of width h on this side. Receive slab: my halo
+      // on this side (filled by the peer's border from the opposite side).
+      Range send_r = side == 0 ? Range{0, h} : Range{owned[axis] - h, owned[axis]};
+      Range recv_r = side == 0 ? Range{-h, 0} : Range{owned[axis], owned[axis] + h};
+      *ranges[axis] = send_r;
+      s.send_idx = slab_indices(b, xr, yr, zr);
+      *ranges[axis] = recv_r;
+      s.recv_idx = slab_indices(b, xr, yr, zr);
+      // Crossing the periodic boundary shifts positions by the box length.
+      s.shift = {};
+      const bool crossing = (side == 0 && coords[static_cast<std::size_t>(axis)] == 0) ||
+                            (side == 1 && coords[static_cast<std::size_t>(axis)] ==
+                                              grid[static_cast<std::size_t>(axis)] - 1);
+      if (crossing) {
+        const double l = axis == 0 ? L.x : (axis == 1 ? L.y : L.z);
+        (axis == 0 ? s.shift.x : axis == 1 ? s.shift.y : s.shift.z) =
+            side == 0 ? +l : -l;
+      }
+    }
+  }
+}
+
+void GhostExchange::exchange(comm::Comm& comm, std::vector<RunawayAtom> emigrants) {
+  lnl_->clear_ghosts();
+  std::vector<RunawayAtom> settled;
+  for (int axis = 0; axis < 3; ++axis) {
+    std::vector<RunawayAtom> low, high;
+    route_emigrants(axis, emigrants, low, high);
+    send_side(comm, axis, 0, low, high);
+    send_side(comm, axis, 1, low, high);
+    recv_side(comm, axis, 0, emigrants);
+    recv_side(comm, axis, 1, emigrants);
+  }
+  adopt(emigrants);
+}
+
+void GhostExchange::send_side(comm::Comm& comm, int axis, int side,
+                              std::vector<RunawayAtom>& low_emigrants,
+                              std::vector<RunawayAtom>& high_emigrants) {
+  const Side& s = sides_[axis][side];
+  std::vector<AtomEntry> entries;
+  entries.reserve(s.send_idx.size());
+  std::vector<PackedRunaway> chains;
+  for (std::size_t pos = 0; pos < s.send_idx.size(); ++pos) {
+    AtomEntry e = lnl_->entry(s.send_idx[pos]);
+    for (std::int32_t ri = e.runaway_head; ri != AtomEntry::kNoRunaway;
+         ri = lnl_->runaway(ri).next) {
+      PackedRunaway p{static_cast<std::int32_t>(pos), 0, lnl_->runaway(ri)};
+      p.atom.r += s.shift;
+      p.atom.next = AtomEntry::kNoRunaway;
+      chains.push_back(p);
+    }
+    e.runaway_head = AtomEntry::kNoRunaway;
+    e.r += s.shift;
+    entries.push_back(e);
+  }
+  std::vector<RunawayAtom>& out = side == 0 ? low_emigrants : high_emigrants;
+  for (RunawayAtom& a : out) a.r += s.shift;
+  comm.send(s.peer, tag_for(kTagEntries, axis, side),
+            std::span<const AtomEntry>(entries));
+  comm.send(s.peer, tag_for(kTagChains, axis, side),
+            std::span<const PackedRunaway>(chains));
+  comm.send(s.peer, tag_for(kTagEmigrants, axis, side),
+            std::span<const RunawayAtom>(out));
+  bytes_sent_ += entries.size() * sizeof(AtomEntry) +
+                 chains.size() * sizeof(PackedRunaway) +
+                 out.size() * sizeof(RunawayAtom);
+  out.clear();
+}
+
+void GhostExchange::recv_side(comm::Comm& comm, int axis, int side,
+                              std::vector<RunawayAtom>& keep) {
+  // My low halo (side 0) is filled by my low peer's high-side send, and vice
+  // versa: match the tag of the opposite side.
+  const Side& s = sides_[axis][side];
+  const int opposite = 1 - side;
+  auto entries = comm.recv_vector<AtomEntry>(s.peer, tag_for(kTagEntries, axis, opposite));
+  if (entries.size() != s.recv_idx.size()) {
+    throw std::runtime_error("GhostExchange: slab size mismatch between peers");
+  }
+  for (std::size_t pos = 0; pos < entries.size(); ++pos) {
+    entries[pos].runaway_head = AtomEntry::kNoRunaway;
+    lnl_->entry(s.recv_idx[pos]) = entries[pos];
+  }
+  auto chains = comm.recv_vector<PackedRunaway>(s.peer, tag_for(kTagChains, axis, opposite));
+  // add_runaway pushes at the head, so insert each host's nodes in reverse to
+  // preserve the sender's chain order (exchange_rho depends on it).
+  for (auto it = chains.rbegin(); it != chains.rend(); ++it) {
+    lnl_->add_runaway(it->atom, s.recv_idx[static_cast<std::size_t>(it->slab_pos)]);
+  }
+  auto migrants = comm.recv_vector<RunawayAtom>(s.peer, tag_for(kTagEmigrants, axis, opposite));
+  keep.insert(keep.end(), migrants.begin(), migrants.end());
+}
+
+void GhostExchange::route_emigrants(int axis, std::vector<RunawayAtom>& pending,
+                                    std::vector<RunawayAtom>& low,
+                                    std::vector<RunawayAtom>& high) const {
+  const LocalBox& b = lnl_->box();
+  const double a = lnl_->geometry().lattice_constant();
+  const int origin[3] = {b.ox, b.oy, b.oz};
+  const int owned[3] = {b.lx, b.ly, b.lz};
+  std::vector<RunawayAtom> still;
+  for (const RunawayAtom& r : pending) {
+    const double coord = axis == 0 ? r.r.x : (axis == 1 ? r.r.y : r.r.z);
+    const double cell = coord / a - origin[axis];
+    if (cell < 0.0) {
+      low.push_back(r);
+    } else if (cell >= static_cast<double>(owned[axis])) {
+      high.push_back(r);
+    } else {
+      still.push_back(r);
+    }
+  }
+  pending.swap(still);
+}
+
+void GhostExchange::adopt(std::vector<RunawayAtom>& settled) {
+  const double thr = lnl_->reattach_threshold();
+  for (RunawayAtom& a : settled) {
+    // Owned host always: a ghost-hosted chain node would vanish at the next
+    // clear_ghosts(). Routing guarantees the position lies in an owned cell.
+    const std::size_t host = lnl_->nearest_owned_entry(a.r);
+    AtomEntry& h = lnl_->entry(host);
+    if (h.is_vacancy() &&
+        (a.r - lnl_->ideal_position(host)).norm2() <= thr * thr) {
+      h.id = a.id;
+      h.type = a.type;
+      h.r = a.r;
+      h.v = a.v;
+      h.f = a.f;
+      h.rho = a.rho;
+    } else {
+      a.next = AtomEntry::kNoRunaway;
+      lnl_->add_runaway(a, host);
+    }
+  }
+  settled.clear();
+}
+
+namespace {
+constexpr int kTagReverse = 600;
+}  // namespace
+
+// Reverse accumulation ships each side's halo values (recv_idx lists) back
+// to the peer, which ADDS them onto its border entries (send_idx lists).
+// Axis order is reversed relative to the forward exchange so that corner
+// halo contributions hop through the intermediate slabs.
+void GhostExchange::reverse_accumulate_rho(comm::Comm& comm) {
+  for (int axis = 2; axis >= 0; --axis) {
+    for (int side = 0; side < 2; ++side) {
+      const Side& s = sides_[axis][side];
+      // My halo on this side returns to the peer that owns it.
+      std::vector<double> vals;
+      vals.reserve(s.recv_idx.size());
+      for (std::size_t idx : s.recv_idx) vals.push_back(lnl_->entry(idx).rho);
+      comm.send(s.peer, kTagReverse + axis * 2 + side,
+                std::span<const double>(vals));
+    }
+    for (int side = 0; side < 2; ++side) {
+      const Side& s = sides_[axis][side];
+      const int opposite = 1 - side;
+      auto vals = comm.recv_vector<double>(s.peer,
+                                           kTagReverse + axis * 2 + opposite);
+      if (vals.size() != s.send_idx.size()) {
+        throw std::runtime_error("reverse_accumulate_rho: slab size mismatch");
+      }
+      for (std::size_t pos = 0; pos < vals.size(); ++pos) {
+        lnl_->entry(s.send_idx[pos]).rho += vals[pos];
+      }
+    }
+  }
+}
+
+void GhostExchange::reverse_accumulate_force(comm::Comm& comm) {
+  for (int axis = 2; axis >= 0; --axis) {
+    for (int side = 0; side < 2; ++side) {
+      const Side& s = sides_[axis][side];
+      std::vector<util::Vec3> vals;
+      vals.reserve(s.recv_idx.size());
+      for (std::size_t idx : s.recv_idx) vals.push_back(lnl_->entry(idx).f);
+      comm.send(s.peer, kTagReverse + 50 + axis * 2 + side,
+                std::span<const util::Vec3>(vals));
+    }
+    for (int side = 0; side < 2; ++side) {
+      const Side& s = sides_[axis][side];
+      const int opposite = 1 - side;
+      auto vals = comm.recv_vector<util::Vec3>(
+          s.peer, kTagReverse + 50 + axis * 2 + opposite);
+      if (vals.size() != s.send_idx.size()) {
+        throw std::runtime_error("reverse_accumulate_force: slab size mismatch");
+      }
+      for (std::size_t pos = 0; pos < vals.size(); ++pos) {
+        lnl_->entry(s.send_idx[pos]).f += vals[pos];
+      }
+    }
+  }
+}
+
+void GhostExchange::exchange_rho(comm::Comm& comm) {
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int side = 0; side < 2; ++side) {
+      const Side& s = sides_[axis][side];
+      std::vector<double> rho;
+      rho.reserve(s.send_idx.size());
+      std::vector<double> chain_rho;
+      for (std::size_t idx : s.send_idx) {
+        const AtomEntry& e = lnl_->entry(idx);
+        rho.push_back(e.rho);
+        for (std::int32_t ri = e.runaway_head; ri != AtomEntry::kNoRunaway;
+             ri = lnl_->runaway(ri).next) {
+          chain_rho.push_back(lnl_->runaway(ri).rho);
+        }
+      }
+      comm.send(s.peer, tag_for(kTagRho, axis, side), std::span<const double>(rho));
+      comm.send(s.peer, tag_for(kTagRhoChains, axis, side),
+                std::span<const double>(chain_rho));
+    }
+    for (int side = 0; side < 2; ++side) {
+      const Side& s = sides_[axis][side];
+      const int opposite = 1 - side;
+      auto rho = comm.recv_vector<double>(s.peer, tag_for(kTagRho, axis, opposite));
+      auto chain_rho =
+          comm.recv_vector<double>(s.peer, tag_for(kTagRhoChains, axis, opposite));
+      if (rho.size() != s.recv_idx.size()) {
+        throw std::runtime_error("GhostExchange: rho slab size mismatch");
+      }
+      std::size_t ci = 0;
+      for (std::size_t pos = 0; pos < rho.size(); ++pos) {
+        AtomEntry& e = lnl_->entry(s.recv_idx[pos]);
+        e.rho = rho[pos];
+        for (std::int32_t ri = e.runaway_head; ri != AtomEntry::kNoRunaway;
+             ri = lnl_->runaway(ri).next) {
+          lnl_->runaway(ri).rho = chain_rho.at(ci++);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mmd::lat

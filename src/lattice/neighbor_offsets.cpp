@@ -1,0 +1,57 @@
+#include "lattice/neighbor_offsets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmd::lat {
+
+std::vector<SiteOffset> bcc_neighbor_offsets(double a, double cutoff, int from_sub) {
+  if (a <= 0.0 || cutoff <= 0.0) {
+    throw std::invalid_argument("bcc_neighbor_offsets: a and cutoff must be positive");
+  }
+  if (from_sub != 0 && from_sub != 1) {
+    throw std::invalid_argument("bcc_neighbor_offsets: from_sub must be 0 or 1");
+  }
+  const double cutoff2 = cutoff * cutoff;
+  // Sub-0 sites sit at integer cell corners, sub-1 at +0.5 in each axis, so
+  // the displacement to a neighbor at cell offset (dx,dy,dz) on `to_sub` is
+  // (d + 0.5*(to_sub - from_sub)) * a per component.
+  const int reach = static_cast<int>(std::ceil(cutoff / a)) + 1;
+  std::vector<SiteOffset> out;
+  for (int dz = -reach; dz <= reach; ++dz) {
+    for (int dy = -reach; dy <= reach; ++dy) {
+      for (int dx = -reach; dx <= reach; ++dx) {
+        for (int to_sub = 0; to_sub <= 1; ++to_sub) {
+          if (dx == 0 && dy == 0 && dz == 0 && to_sub == from_sub) continue;
+          const double shift = 0.5 * (to_sub - from_sub);
+          const util::Vec3 disp{(dx + shift) * a, (dy + shift) * a, (dz + shift) * a};
+          const double d2 = disp.norm2();
+          if (d2 <= cutoff2) {
+            out.push_back({dx, dy, dz, to_sub, d2, disp});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SiteOffset& l, const SiteOffset& r) {
+    if (l.dist2 != r.dist2) return l.dist2 < r.dist2;
+    if (l.dz != r.dz) return l.dz < r.dz;
+    if (l.dy != r.dy) return l.dy < r.dy;
+    if (l.dx != r.dx) return l.dx < r.dx;
+    return l.to_sub < r.to_sub;
+  });
+  return out;
+}
+
+int required_halo_cells(double a, double cutoff) {
+  int halo = 0;
+  for (int sub = 0; sub <= 1; ++sub) {
+    for (const auto& o : bcc_neighbor_offsets(a, cutoff, sub)) {
+      halo = std::max({halo, std::abs(o.dx), std::abs(o.dy), std::abs(o.dz)});
+    }
+  }
+  return halo;
+}
+
+}  // namespace mmd::lat

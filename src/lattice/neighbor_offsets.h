@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/vec3.h"
+
+namespace mmd::lat {
+
+/// One entry of the constant-offset neighbor table: the relative cell
+/// displacement and sublattice change from a central site to a neighbor site
+/// within the cutoff radius. Because every lattice point sees the same
+/// pattern, these offsets are computed once and reused for all central atoms
+/// — this is what makes the lattice neighbor list free of per-atom neighbor
+/// storage (paper §2.1.1: "the offsets of the neighbor atoms relative to the
+/// central atom are the same").
+struct SiteOffset {
+  int dx = 0;
+  int dy = 0;
+  int dz = 0;
+  int to_sub = 0;       ///< sublattice of the neighbor
+  double dist2 = 0.0;   ///< squared ideal-lattice distance [A^2]
+  util::Vec3 disp;      ///< ideal displacement vector [A]
+};
+
+/// Compute all neighbor offsets within `cutoff` for a central site on
+/// sublattice `from_sub` of a BCC lattice with constant `a`. The central site
+/// itself is excluded. Offsets are sorted by distance, so the first 8 entries
+/// are the first-nearest-neighbor shell used by the KMC vacancy events.
+std::vector<SiteOffset> bcc_neighbor_offsets(double a, double cutoff, int from_sub);
+
+/// Number of lattice cells of halo needed so that every neighbor offset of an
+/// owned cell lands inside the stored region: max |d{x,y,z}| over both
+/// sublattices' offset tables.
+int required_halo_cells(double a, double cutoff);
+
+}  // namespace mmd::lat

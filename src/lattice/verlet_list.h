@@ -1,0 +1,109 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.h"
+
+namespace mmd::lat {
+
+/// Classic Verlet neighbor list (the LAMMPS structure, paper §2.1.1): every
+/// atom stores the indices of all atoms within cutoff + skin. Rebuilt when
+/// atoms move more than skin/2. Memory grows with atoms * neighbors — the
+/// baseline the lattice neighbor list is compared against in
+/// `bench/tab_memory_footprint`.
+class VerletNeighborList {
+ public:
+  VerletNeighborList(double cutoff, double skin) : cutoff_(cutoff), skin_(skin) {}
+
+  /// Build from positions in a periodic orthorhombic box of extents `box`.
+  void build(std::span<const util::Vec3> positions, const util::Vec3& box);
+
+  std::size_t num_atoms() const { return starts_.empty() ? 0 : starts_.size() - 1; }
+
+  std::span<const std::int32_t> neighbors(std::size_t i) const {
+    return {neighbors_.data() + starts_[i],
+            static_cast<std::size_t>(starts_[i + 1] - starts_[i])};
+  }
+
+  double cutoff() const { return cutoff_; }
+  double skin() const { return skin_; }
+
+  std::size_t memory_bytes() const {
+    return neighbors_.capacity() * sizeof(std::int32_t) +
+           starts_.capacity() * sizeof(std::int64_t);
+  }
+
+ private:
+  double cutoff_;
+  double skin_;
+  std::vector<std::int32_t> neighbors_;
+  std::vector<std::int64_t> starts_;
+};
+
+/// Linked-cell structure (the IMD / CoMD structure): the box is divided into
+/// cells at least one cutoff wide; each cell keeps an intrusive list of its
+/// atoms. Lower memory than a Verlet list but every query scans 27 cells and
+/// the lists are rebuilt each step.
+class LinkedCellList {
+ public:
+  explicit LinkedCellList(double cutoff) : cutoff_(cutoff) {}
+
+  void build(std::span<const util::Vec3> positions, const util::Vec3& box);
+
+  /// Visit every atom index j != i within the cutoff of atom i, passing the
+  /// minimum-image displacement r_j - r_i. Each neighbor is reported once
+  /// even when the cell grid is short enough that the 27-stencil wraps onto
+  /// the same cell twice.
+  template <typename F>
+  void for_each_neighbor(std::size_t i, F&& f) const {
+    const util::Vec3 ri = positions_[i];
+    const int ci = cell_of(ri)[0], cj = cell_of(ri)[1], ck = cell_of(ri)[2];
+    const double cut2 = cutoff_ * cutoff_;
+    std::size_t cells[27];
+    std::size_t ncells = 0;
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const std::size_t c = cell_index(ci + dx, cj + dy, ck + dz);
+          bool dup = false;
+          for (std::size_t k = 0; k < ncells; ++k) {
+            if (cells[k] == c) { dup = true; break; }
+          }
+          if (!dup) cells[ncells++] = c;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < ncells; ++k) {
+      for (std::int32_t j = head_[cells[k]]; j >= 0;
+           j = next_[static_cast<std::size_t>(j)]) {
+        if (static_cast<std::size_t>(j) == i) continue;
+        util::Vec3 d = min_image(positions_[static_cast<std::size_t>(j)] - ri);
+        if (d.norm2() <= cut2) f(static_cast<std::size_t>(j), d);
+      }
+    }
+  }
+
+  std::size_t memory_bytes() const {
+    return head_.capacity() * sizeof(std::int32_t) +
+           next_.capacity() * sizeof(std::int32_t) +
+           positions_.capacity() * sizeof(util::Vec3);
+  }
+
+ private:
+  std::array<int, 3> cell_of(const util::Vec3& r) const;
+  std::size_t cell_index(int x, int y, int z) const;
+  util::Vec3 min_image(util::Vec3 d) const;
+
+  double cutoff_;
+  util::Vec3 box_;
+  int ncx_ = 0, ncy_ = 0, ncz_ = 0;
+  std::vector<std::int32_t> head_;
+  std::vector<std::int32_t> next_;
+  std::vector<util::Vec3> positions_;
+};
+
+}  // namespace mmd::lat

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "comm/world.h"
+#include "lattice/ghost_exchange.h"
+#include "lattice/lattice_neighbor_list.h"
+#include "potential/eam.h"
+
+namespace mmd::md {
+
+/// Newton-third-law (half-neighbor) EAM backend — the design alternative to
+/// the full-loop reference path.
+///
+/// Each lattice pair is evaluated exactly once, by the rank owning the atom
+/// with the smaller global id; the contribution to the other atom
+/// accumulates into its local (possibly ghost) entry and is returned to the
+/// owner with a reverse ghost accumulation (the LAMMPS `reverse_comm`
+/// pattern). This halves the pair arithmetic but adds one reverse exchange
+/// per pass — the communication-vs-compute trade that makes full loops (the
+/// reference path, and CoMD's choice) attractive on communication-bound
+/// machines like the paper's. `bench/micro_structures`-style comparison:
+/// tests/test_newton_force.cpp verifies physics equality; the ablation's
+/// traffic shows up in the comm counters.
+///
+/// Run-away atoms are handled with full loops (they are a few millionths of
+/// the population). Single-species (Fe) only, like the slave-core path.
+class NewtonForce {
+ public:
+  explicit NewtonForce(const pot::EamTableSet& tables);
+
+  /// Pass 1: accumulate host densities pairwise, reverse-return ghost
+  /// contributions, then forward-refresh ghost rho.
+  void compute_rho(comm::Comm& comm, lat::LatticeNeighborList& lnl,
+                   lat::GhostExchange& ghosts) const;
+
+  /// Pass 2: pairwise forces with += / -= accumulation and a reverse force
+  /// return. Owned lattice and run-away forces are complete afterwards;
+  /// ghost forces are garbage.
+  void compute_forces(comm::Comm& comm, lat::LatticeNeighborList& lnl,
+                      lat::GhostExchange& ghosts) const;
+
+ private:
+  const pot::EamTableSet* tables_;
+};
+
+}  // namespace mmd::md

@@ -1,0 +1,388 @@
+#include "md/slave_force.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "potential/table_access.h"
+#include "util/timer.h"
+
+namespace mmd::md {
+
+namespace {
+
+int sp(lat::Species s) { return static_cast<int>(s); }
+
+/// Window-local flat deltas for a block window of row length `row_cells`
+/// cells ((bx + 2h) cells per (dy,dz) row, wy = 2h+1 rows per axis).
+std::vector<std::int64_t> window_deltas(const std::vector<lat::SiteOffset>& offs,
+                                        int sub, int row_cells, int wy) {
+  std::vector<std::int64_t> d;
+  d.reserve(offs.size());
+  for (const auto& o : offs) {
+    d.push_back(((static_cast<std::int64_t>(o.dz) * wy + o.dy) * row_cells + o.dx) * 2 +
+                (o.to_sub - sub));
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string to_string(AccelStrategy s) {
+  switch (s) {
+    case AccelStrategy::TraditionalTable: return "TraditionalTable";
+    case AccelStrategy::CompactedTable: return "CompactedTable";
+    case AccelStrategy::CompactedReuse: return "CompactedTable+DataReuse";
+    case AccelStrategy::CompactedReuseDouble:
+      return "CompactedTable+DataReuse+DoubleBuffer";
+  }
+  return "?";
+}
+
+SlaveForceCompute::SlaveForceCompute(const pot::EamTableSet& tables,
+                                     sw::SlaveCorePool& pool,
+                                     AccelStrategy strategy)
+    : tables_(&tables), pool_(&pool), strategy_(strategy),
+      compute_s_(pool.size(), 0.0) {
+  if (tables.num_species != 1) {
+    throw std::invalid_argument(
+        "SlaveForceCompute: the slave-core path handles the single-species "
+        "(Fe) configuration; use the reference path for alloys");
+  }
+}
+
+void SlaveForceCompute::reset_stats() {
+  pool_->reset_stats();
+  std::fill(compute_s_.begin(), compute_s_.end(), 0.0);
+}
+
+double SlaveForceCompute::compute_seconds() const {
+  double m = 0.0;
+  for (double c : compute_s_) m = std::max(m, c);
+  return m;
+}
+
+double SlaveForceCompute::modeled_time() const {
+  double worst = 0.0;
+  for (std::size_t c = 0; c < pool_->size(); ++c) {
+    const double dma =
+        const_cast<sw::SlaveCorePool*>(pool_)->core(c).dma->modeled_time();
+    const double comp = compute_s_[c];
+    const double t = strategy_ == AccelStrategy::CompactedReuseDouble
+                         ? std::max(dma, comp)
+                         : dma + comp;
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+void SlaveForceCompute::pack(const lat::LatticeNeighborList& lnl,
+                             bool with_fprime) {
+  packed_.resize(lnl.size());
+  const auto& embed = tables_->embed_of(0);
+  for (std::size_t i = 0; i < lnl.size(); ++i) {
+    const lat::AtomEntry& e = lnl.entry(i);
+    Packed& p = packed_[i];
+    p.x = e.r.x;
+    p.y = e.r.y;
+    p.z = e.r.z;
+    p.fprime = (with_fprime && e.is_atom()) ? embed.derivative(e.rho) : 0.0;
+    p.id = e.is_atom() ? static_cast<double>(e.id) : -1.0;
+  }
+}
+
+void SlaveForceCompute::run_stage(lat::LatticeNeighborList& lnl, Stage stage,
+                                  std::vector<double>& out_scalar,
+                                  std::vector<util::Vec3>& out_vec) {
+  const lat::LocalBox box = lnl.box();
+  const int h = box.halo;
+  const int wy = 2 * h + 1;
+  const int rows_per_window = wy * wy;
+  const bool scalar_out = stage == Stage::Rho;
+  if (scalar_out) {
+    out_scalar.assign(lnl.size(), 0.0);
+  } else {
+    out_vec.assign(lnl.size(), util::Vec3{});
+  }
+  const bool traditional = strategy_ == AccelStrategy::TraditionalTable;
+  const bool reuse = strategy_ == AccelStrategy::CompactedReuse ||
+                     strategy_ == AccelStrategy::CompactedReuseDouble;
+  const pot::CompactTable& compact =
+      stage == Stage::PairForce ? tables_->phi(0, 0) : tables_->f(0, 0);
+  const pot::CoefficientTable& trad =
+      stage == Stage::PairForce ? tables_->phi_trad : tables_->f_trad;
+  const double cutoff = tables_->cutoff;
+  const double cut2 = cutoff * cutoff;
+  const double r_min = tables_->r_min;
+
+  const std::size_t total_rows =
+      static_cast<std::size_t>(box.ly) * static_cast<std::size_t>(box.lz);
+
+  pool_->run([&](sw::SlaveCtx& ctx) {
+    util::Timer timer;
+    sw::LocalStore& store = *ctx.local_store;
+    sw::DmaEngine& dma = *ctx.dma;
+
+    // Table residency: the compacted table is staged whole (paper: "load the
+    // whole compacted table into the local store at one time"); the
+    // traditional 273 KB table can never fit and stays in main memory.
+    pot::CompactTableAccess compact_access(compact, store, dma, !traditional);
+    pot::CoefficientTableAccess trad_access(trad, dma);
+
+    // Block width: the largest bx whose window + output fit what is left of
+    // the 64 KB store.
+    const std::size_t budget = store.remaining() > 2048 ? store.remaining() - 2048 : 0;
+    const std::size_t out_entry_bytes = scalar_out ? sizeof(double) : sizeof(util::Vec3);
+    int bx = 0;
+    for (int cand = 1; cand <= box.lx; ++cand) {
+      const std::size_t win_bytes = static_cast<std::size_t>(cand + 2 * h) * 2 *
+                                    rows_per_window * sizeof(Packed);
+      const std::size_t out_bytes = static_cast<std::size_t>(cand) * 2 * out_entry_bytes;
+      if (win_bytes + out_bytes <= budget) bx = cand; else break;
+    }
+    if (bx == 0) {
+      throw std::runtime_error(
+          "SlaveForceCompute: local store too small for even a one-cell block");
+    }
+    const int row_cells = bx + 2 * h;
+    const std::size_t win_entries =
+        static_cast<std::size_t>(row_cells) * 2 * rows_per_window;
+    Packed* window = store.allocate_array<Packed>(win_entries);
+    void* out_buf = store.allocate(static_cast<std::size_t>(bx) * 2 * out_entry_bytes,
+                                   alignof(util::Vec3));
+    if (window == nullptr || out_buf == nullptr) {
+      throw std::runtime_error("SlaveForceCompute: local store allocation failed");
+    }
+
+    std::vector<std::int64_t> wdeltas[2];
+    for (int sub = 0; sub <= 1; ++sub) {
+      wdeltas[sub] = window_deltas(lnl.offsets(sub), sub, row_cells, wy);
+    }
+    const std::int64_t central_row = static_cast<std::int64_t>(h) * wy + h;
+
+    // Slab: a contiguous chunk of owned (y,z) rows for this core.
+    const std::size_t chunk = (total_rows + pool_->size() - 1) / pool_->size();
+    const std::size_t row_begin = ctx.core_id * chunk;
+    const std::size_t row_end = std::min(total_rows, row_begin + chunk);
+
+    std::vector<sw::DmaEngine::Run> runs;
+    runs.reserve(static_cast<std::size_t>(rows_per_window));
+
+    for (std::size_t row = row_begin; row < row_end; ++row) {
+      const int cy = static_cast<int>(row % static_cast<std::size_t>(box.ly));
+      const int cz = static_cast<int>(row / static_cast<std::size_t>(box.ly));
+      bool window_valid = false;
+      for (int x0 = 0; x0 < box.lx; x0 += bx) {
+        const int bw = std::min(bx, box.lx - x0);
+        // --- window transfer ---
+        runs.clear();
+        if (reuse && window_valid) {
+          // Slide the window left by bx cells locally, then DMA only the new
+          // tail slice of each row (the paper's ghost-data reuse).
+          const std::size_t keep = static_cast<std::size_t>(2 * h) * 2;
+          const std::size_t rowlen = static_cast<std::size_t>(row_cells) * 2;
+          for (int rr = 0; rr < rows_per_window; ++rr) {
+            Packed* wrow = window + static_cast<std::size_t>(rr) * rowlen;
+            std::memmove(wrow, wrow + static_cast<std::size_t>(2 * bx), keep * sizeof(Packed));
+            const int dy = rr % wy - h;
+            const int dz = rr / wy - h;
+            const std::size_t src = box.entry_index({x0 + h, cy + dy, cz + dz, 0});
+            runs.push_back({wrow + keep, packed_.data() + src,
+                            static_cast<std::size_t>(bw) * 2 * sizeof(Packed)});
+          }
+        } else {
+          for (int rr = 0; rr < rows_per_window; ++rr) {
+            const int dy = rr % wy - h;
+            const int dz = rr / wy - h;
+            const std::size_t src = box.entry_index({x0 - h, cy + dy, cz + dz, 0});
+            runs.push_back({window + static_cast<std::size_t>(rr) * row_cells * 2,
+                            packed_.data() + src,
+                            static_cast<std::size_t>(bw + 2 * h) * 2 * sizeof(Packed)});
+          }
+          window_valid = true;
+        }
+        dma.get_batched(runs.data(), runs.size());
+
+        // --- compute owned entries of the block ---
+        timer.reset();
+        for (int xi = 0; xi < bw; ++xi) {
+          for (int sub = 0; sub <= 1; ++sub) {
+            const std::size_t wc =
+                (static_cast<std::size_t>(central_row) * row_cells + h + xi) * 2 +
+                static_cast<std::size_t>(sub);
+            const Packed& c = window[wc];
+            double rho = 0.0;
+            util::Vec3 force{};
+            if (c.id >= 0.0) {
+              for (const std::int64_t d : wdeltas[sub]) {
+                const Packed& nb = window[wc + static_cast<std::size_t>(d)];
+                if (nb.id < 0.0) continue;
+                const double dx = nb.x - c.x, dy2 = nb.y - c.y, dz2 = nb.z - c.z;
+                const double r2 = dx * dx + dy2 * dy2 + dz2 * dz2;
+                if (r2 > cut2 || r2 == 0.0) continue;
+                const double r = std::max(std::sqrt(r2), r_min);
+                double val = 0.0, der = 0.0;
+                if (traditional) {
+                  trad_access.eval(r, &val, &der);
+                } else {
+                  compact_access.eval(r, &val, &der);
+                }
+                switch (stage) {
+                  case Stage::Rho:
+                    rho += val;
+                    break;
+                  case Stage::PairForce: {
+                    const double s = der / r;
+                    force += util::Vec3{dx, dy2, dz2} * s;
+                    break;
+                  }
+                  case Stage::DensForce: {
+                    const double s = (c.fprime + nb.fprime) * der / r;
+                    force += util::Vec3{dx, dy2, dz2} * s;
+                    break;
+                  }
+                }
+              }
+            }
+            const std::size_t oi = static_cast<std::size_t>(xi) * 2 +
+                                   static_cast<std::size_t>(sub);
+            if (scalar_out) {
+              static_cast<double*>(out_buf)[oi] = rho;
+            } else {
+              static_cast<util::Vec3*>(out_buf)[oi] = force;
+            }
+          }
+        }
+        compute_s_[ctx.core_id] += timer.elapsed();
+
+        // --- result transfer ---
+        const std::size_t base = box.entry_index({x0, cy, cz, 0});
+        if (scalar_out) {
+          dma.put(out_scalar.data() + base, out_buf,
+                  static_cast<std::size_t>(bw) * 2 * sizeof(double));
+        } else {
+          dma.put(out_vec.data() + base, out_buf,
+                  static_cast<std::size_t>(bw) * 2 * sizeof(util::Vec3));
+        }
+      }
+    }
+  });
+}
+
+void SlaveForceCompute::compute_rho(lat::LatticeNeighborList& lnl) {
+  pack(lnl, /*with_fprime=*/false);
+  run_stage(lnl, Stage::Rho, rho_stage_, fpair_stage_);
+  for (std::size_t idx : lnl.owned_indices()) {
+    lat::AtomEntry& e = lnl.entry(idx);
+    if (e.is_atom()) e.rho = rho_stage_[idx];
+  }
+  complement_runaways_rho(lnl);
+}
+
+void SlaveForceCompute::compute_forces(lat::LatticeNeighborList& lnl) {
+  pack(lnl, /*with_fprime=*/true);
+  run_stage(lnl, Stage::PairForce, rho_stage_, fpair_stage_);
+  run_stage(lnl, Stage::DensForce, rho_stage_, fdens_stage_);
+  for (std::size_t idx : lnl.owned_indices()) {
+    lat::AtomEntry& e = lnl.entry(idx);
+    if (e.is_atom()) e.f = fpair_stage_[idx] + fdens_stage_[idx];
+  }
+  complement_runaways_force(lnl);
+}
+
+// Master-core complement: contributions involving run-away atoms. Run-aways
+// are "several millionth of the number of all the atoms" (paper §2.1.1), so
+// this scalar pass is negligible next to the slave-core lattice work.
+void SlaveForceCompute::complement_runaways_rho(lat::LatticeNeighborList& lnl) const {
+  const lat::LocalBox box = lnl.box();
+  const double cut2 = tables_->cutoff * tables_->cutoff;
+  const double r_min = tables_->r_min;
+  const auto& ftab = tables_->f(0, 0);
+  // Every chain node (owned or ghost) contributes to owned lattice atoms
+  // around its host.
+  for (std::size_t host = 0; host < lnl.size(); ++host) {
+    for (std::int32_t ri = lnl.entry(host).runaway_head;
+         ri != lat::AtomEntry::kNoRunaway; ri = lnl.runaway(ri).next) {
+      const lat::RunawayAtom& a = lnl.runaway(ri);
+      const lat::LocalCoord hc = box.coord_of(host);
+      auto add_to = [&](std::size_t idx) {
+        lat::AtomEntry& e = lnl.entry(idx);
+        if (!e.is_atom() || !box.owns(box.coord_of(idx))) return;
+        const double r2 = (a.r - e.r).norm2();
+        if (r2 > cut2 || r2 == 0.0) return;
+        e.rho += ftab.value(std::max(std::sqrt(r2), r_min));
+      };
+      add_to(host);
+      for (const auto& o : lnl.offsets(hc.sub)) {
+        const lat::LocalCoord nc{hc.x + o.dx, hc.y + o.dy, hc.z + o.dz, o.to_sub};
+        if (box.in_storage(nc)) add_to(box.entry_index(nc));
+      }
+    }
+  }
+  // Each owned run-away computes its own full density.
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t host) {
+    lat::RunawayAtom& a = lnl.runaway(ri);
+    double rho = 0.0;
+    lnl.for_each_neighbor_of_runaway(ri, host, [&](const lat::ParticleView& p) {
+      const double r2 = (p.r - a.r).norm2();
+      if (r2 > cut2) return;
+      rho += ftab.value(std::max(std::sqrt(r2), r_min));
+    });
+    a.rho = rho;
+  });
+}
+
+void SlaveForceCompute::complement_runaways_force(lat::LatticeNeighborList& lnl) const {
+  const lat::LocalBox box = lnl.box();
+  const double cut2 = tables_->cutoff * tables_->cutoff;
+  const double r_min = tables_->r_min;
+  const auto& phit = tables_->phi(0, 0);
+  const auto& ftab = tables_->f(0, 0);
+  const auto& embed = tables_->embed_of(0);
+  for (std::size_t host = 0; host < lnl.size(); ++host) {
+    for (std::int32_t ri = lnl.entry(host).runaway_head;
+         ri != lat::AtomEntry::kNoRunaway; ri = lnl.runaway(ri).next) {
+      const lat::RunawayAtom& a = lnl.runaway(ri);
+      const double fpa = embed.derivative(a.rho);
+      const lat::LocalCoord hc = box.coord_of(host);
+      auto add_to = [&](std::size_t idx) {
+        lat::AtomEntry& e = lnl.entry(idx);
+        if (!e.is_atom() || !box.owns(box.coord_of(idx))) return;
+        const util::Vec3 d = a.r - e.r;
+        const double r2 = d.norm2();
+        if (r2 > cut2 || r2 == 0.0) return;
+        const double r = std::max(std::sqrt(r2), r_min);
+        double dphi, df;
+        phit.eval(r, nullptr, &dphi);
+        ftab.eval(r, nullptr, &df);
+        const double fpe = embed.derivative(e.rho);
+        e.f += d * ((dphi + (fpe + fpa) * df) / r);
+      };
+      add_to(host);
+      for (const auto& o : lnl.offsets(hc.sub)) {
+        const lat::LocalCoord nc{hc.x + o.dx, hc.y + o.dy, hc.z + o.dz, o.to_sub};
+        if (box.in_storage(nc)) add_to(box.entry_index(nc));
+      }
+    }
+  }
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t host) {
+    lat::RunawayAtom& a = lnl.runaway(ri);
+    const double fpa = embed.derivative(a.rho);
+    util::Vec3 force{};
+    lnl.for_each_neighbor_of_runaway(ri, host, [&](const lat::ParticleView& p) {
+      const util::Vec3 d = p.r - a.r;
+      const double r2 = d.norm2();
+      if (r2 > cut2 || r2 == 0.0) return;
+      const double r = std::max(std::sqrt(r2), r_min);
+      double dphi, df;
+      phit.eval(r, nullptr, &dphi);
+      ftab.eval(r, nullptr, &df);
+      const double fpp = embed.derivative(p.rho);
+      force += d * ((dphi + (fpa + fpp) * df) / r);
+    });
+    a.f = force;
+  });
+}
+
+}  // namespace mmd::md

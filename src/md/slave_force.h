@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/lattice_neighbor_list.h"
+#include "potential/eam.h"
+#include "sunway/slave_pool.h"
+
+namespace mmd::md {
+
+/// The cumulative optimization ladder of the paper's Fig. 9.
+enum class AccelStrategy {
+  TraditionalTable,      ///< 5000x7 coefficient tables, one DMA per lookup
+  CompactedTable,        ///< resident 5000-sample tables, window DMA per block
+  CompactedReuse,        ///< + keep the overlapping window slices between blocks
+  CompactedReuseDouble,  ///< + double-buffer window transfer against compute
+};
+
+std::string to_string(AccelStrategy s);
+
+/// EAM force computation on the simulated Sunway slave cores (paper §2.1.2).
+///
+/// The subdomain is split into slabs (one per slave core: a contiguous chunk
+/// of owned (y,z) cell rows); each slab is processed in blocks of `bx` cells
+/// along x. Per block the core DMAs a packed window of (bx+2h)(2h+1)^2 cells
+/// into its local store, evaluates one table stage, and DMAs the results
+/// back. The three interpolation tables are accessed sequentially, one pass
+/// per table, so the resident compacted table is always the single table the
+/// stage needs:
+///   pass RHO        : density table   -> rho_i
+///   (MPE)           : embedding table -> F'(rho_i), packed with positions
+///   pass PAIR-FORCE : pair table      -> sum phi'(r) d_hat
+///   pass DENS-FORCE : density table   -> sum (F'_i + F'_j) f'(r) d_hat
+///
+/// Run-away atoms (a few millionths of all atoms) are handled on the master
+/// core as a complement pass; physics is identical to ReferenceForce up to
+/// floating-point summation order.
+class SlaveForceCompute {
+ public:
+  SlaveForceCompute(const pot::EamTableSet& tables, sw::SlaveCorePool& pool,
+                    AccelStrategy strategy);
+
+  void compute_rho(lat::LatticeNeighborList& lnl);
+  void compute_forces(lat::LatticeNeighborList& lnl);
+
+  AccelStrategy strategy() const { return strategy_; }
+
+  /// Aggregated DMA statistics from the pool since the last reset.
+  sw::DmaStats dma_stats() const { return pool_->aggregate_dma_stats(); }
+  void reset_stats();
+
+  /// Modeled Sunway time of everything executed since the last reset: the
+  /// critical-path core's DMA cost (alpha-beta model) combined with its
+  /// measured compute time — summed for the serial strategies, overlapped
+  /// (max) for the double-buffered one.
+  double modeled_time() const;
+
+  /// Measured compute seconds on the critical-path core.
+  double compute_seconds() const;
+
+ private:
+  /// Packed particle record staged through the local store (5 doubles: the
+  /// paper's data compaction — only the fields a pass needs move over DMA).
+  struct Packed {
+    double x, y, z;
+    double fprime;  ///< F'(rho) for force passes, 0 in the rho pass
+    double id;      ///< global id; negative marks a vacancy (bit-exact in double)
+  };
+
+  enum class Stage { Rho, PairForce, DensForce };
+
+  void pack(const lat::LatticeNeighborList& lnl, bool with_fprime);
+  void run_stage(lat::LatticeNeighborList& lnl, Stage stage,
+                 std::vector<double>& out_scalar,
+                 std::vector<util::Vec3>& out_vec);
+  void complement_runaways_rho(lat::LatticeNeighborList& lnl) const;
+  void complement_runaways_force(lat::LatticeNeighborList& lnl) const;
+
+  const pot::EamTableSet* tables_;
+  sw::SlaveCorePool* pool_;
+  AccelStrategy strategy_;
+  std::vector<Packed> packed_;       ///< main-memory staging, entry-indexed
+  std::vector<double> rho_stage_;
+  std::vector<util::Vec3> fpair_stage_;
+  std::vector<util::Vec3> fdens_stage_;
+  std::vector<double> compute_s_;    ///< per-core measured compute seconds
+};
+
+}  // namespace mmd::md

@@ -1,0 +1,67 @@
+#include "perf/scaling_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmd::perf {
+
+double NetworkModel::effective_bandwidth(std::uint64_t nranks) const {
+  const double lg = nranks > 1 ? std::log2(static_cast<double>(nranks)) : 0.0;
+  return bandwidth_bps / (1.0 + contention_alpha * lg);
+}
+
+double NetworkModel::p2p_time(std::uint64_t msgs, std::uint64_t bytes,
+                              std::uint64_t nranks) const {
+  return static_cast<double>(msgs) * latency_s +
+         static_cast<double>(bytes) / effective_bandwidth(nranks);
+}
+
+double NetworkModel::collective_time(std::uint64_t nranks) const {
+  const double depth =
+      nranks > 1 ? std::ceil(std::log2(static_cast<double>(nranks))) : 0.0;
+  return 2.0 * depth * latency_s;
+}
+
+double ScalingModel::step_time(const StepProfile& p, std::uint64_t nranks) const {
+  return p.compute_s + net_.p2p_time(p.p2p_msgs, p.p2p_bytes, nranks) +
+         static_cast<double>(p.collectives) * net_.collective_time(nranks);
+}
+
+StepProfile ScalingModel::strong_scale(const StepProfile& base, double factor,
+                                       double cache_boost) const {
+  StepProfile p = base;
+  p.compute_s = base.compute_s / factor / cache_boost;
+  // Ghost traffic follows the subdomain surface: (1/f)^(2/3) per rank.
+  const double surface = std::pow(1.0 / factor, 2.0 / 3.0);
+  p.p2p_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(base.p2p_bytes) * surface);
+  // Message count per rank is constant (same neighbor topology).
+  return p;
+}
+
+double ScalingModel::weak_efficiency(double t_base, double t_n) {
+  return t_n > 0.0 ? std::min(1.0, t_base / t_n) : 0.0;
+}
+
+double ScalingModel::strong_efficiency(double speedup, double rank_ratio) {
+  return rank_ratio > 0.0 ? speedup / rank_ratio : 0.0;
+}
+
+double ScalingModel::calibrate_weak_compute(double m_base, double m_n,
+                                            double target_eff) {
+  // (C + m_base) / (C + m_n) = e  =>  C = (e*m_n - m_base) / (1 - e).
+  if (target_eff <= 0.0 || target_eff >= 1.0 || m_n <= m_base) return 0.0;
+  const double c = (target_eff * m_n - m_base) / (1.0 - target_eff);
+  return std::max(0.0, c);
+}
+
+double ScalingModel::calibrate_strong_compute(double m_base, double m_n,
+                                              double f, double target_speedup,
+                                              double boost_n) {
+  // (C + m_base) / (C/(f*b) + m_n) = s  =>  C (1 - s/(f*b)) = s*m_n - m_base.
+  const double denom = 1.0 - target_speedup / (f * boost_n);
+  if (denom <= 0.0) return 0.0;
+  return std::max(0.0, (target_speedup * m_n - m_base) / denom);
+}
+
+}  // namespace mmd::perf

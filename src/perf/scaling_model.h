@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mmd::perf {
+
+/// Alpha-beta network model with a contention term, standing in for the
+/// TaihuLight interconnect (DESIGN.md §2). Message cost = latency + bytes /
+/// effective bandwidth, where effective bandwidth degrades logarithmically
+/// with the number of ranks — the "communication contention" the paper cites
+/// for the slowly growing communication time in its weak-scaling figures.
+struct NetworkModel {
+  double latency_s = 1.5e-6;        ///< per-message startup
+  double bandwidth_bps = 6.0e9;     ///< point-to-point stream [bytes/s]
+  double contention_alpha = 0.05;   ///< bandwidth loss per log2(ranks)
+
+  double effective_bandwidth(std::uint64_t nranks) const;
+  double p2p_time(std::uint64_t msgs, std::uint64_t bytes,
+                  std::uint64_t nranks) const;
+  /// Tree allreduce/barrier: 2*ceil(log2 n) latency hops.
+  double collective_time(std::uint64_t nranks) const;
+};
+
+/// Per-rank, per-step (or per-cycle) cost profile extracted from a live
+/// downscaled run: measured compute seconds plus counted communication.
+struct StepProfile {
+  double compute_s = 0.0;
+  std::uint64_t p2p_msgs = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t collectives = 0;
+};
+
+/// Projects live measurements to paper-scale core counts.
+///
+/// Weak scaling: per-rank quantities stay fixed, communication grows with
+/// contention and collective depth. Strong scaling: per-rank compute and
+/// ghost traffic shrink with the subdomain (volume ~ 1/f, surface ~ f^-2/3).
+class ScalingModel {
+ public:
+  explicit ScalingModel(NetworkModel net = {}) : net_(net) {}
+
+  const NetworkModel& network() const { return net_; }
+
+  /// Modeled wall time of one step at `nranks` given the per-rank profile.
+  double step_time(const StepProfile& p, std::uint64_t nranks) const;
+
+  /// Derive the per-rank profile at `factor` times more ranks than the
+  /// measured base, with the global problem size fixed (strong scaling).
+  StepProfile strong_scale(const StepProfile& base, double factor,
+                           double cache_boost = 1.0) const;
+
+  /// Weak-scaling parallel efficiency: T(base) / T(n).
+  static double weak_efficiency(double t_base, double t_n);
+
+  /// Strong-scaling speedup and efficiency.
+  static double strong_efficiency(double speedup, double rank_ratio);
+
+  /// Calibration: the one quantity a simulated substrate cannot measure is
+  /// the real machine's per-rank compute time (the authors' slave-core code
+  /// is vectorized many-core; our reference path is scalar). Given modeled
+  /// communication times at the base and final scale, solve for the compute
+  /// time C that reproduces the paper's REPORTED efficiency at the final
+  /// point; every intermediate point of the curve is then a prediction of
+  /// this model. Returns C [s]; 0 if the target is unreachable.
+  ///
+  /// Weak scaling: eff = (C + m_base) / (C + m_n).
+  static double calibrate_weak_compute(double m_base, double m_n,
+                                       double target_eff);
+
+  /// Strong scaling: speedup = (C + m_base) / (C/(f*boost_n) + m_n), with f
+  /// the rank ratio; target_speedup = target_eff * f.
+  static double calibrate_strong_compute(double m_base, double m_n, double f,
+                                         double target_speedup,
+                                         double boost_n = 1.0);
+
+ private:
+  NetworkModel net_;
+};
+
+/// TaihuLight accounting helper: the paper counts "master+slave cores", i.e.
+/// 65 cores per core group (1 MPE + 64 CPEs), with one MPI rank per group.
+inline constexpr std::uint64_t kCoresPerGroup = 65;
+
+inline std::uint64_t ranks_from_cores(std::uint64_t master_plus_slave_cores) {
+  return master_plus_slave_cores / kCoresPerGroup;
+}
+
+inline std::uint64_t cores_from_ranks(std::uint64_t ranks) {
+  return ranks * kCoresPerGroup;
+}
+
+}  // namespace mmd::perf

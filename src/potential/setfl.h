@@ -1,0 +1,61 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "potential/eam.h"
+
+namespace mmd::pot {
+
+/// In-memory representation of a DYNAMO/LAMMPS `eam/alloy` (setfl) potential
+/// file — the de-facto exchange format for EAM potentials. Supporting it
+/// means this reproduction can run with published Fe / Fe-Cu potentials
+/// instead of the built-in analytic stand-in (see DESIGN.md §2).
+struct SetflData {
+  std::vector<std::string> comments;       ///< the 3 header comment lines
+  std::vector<std::string> elements;       ///< element symbols
+  int nrho = 0;
+  double drho = 0.0;
+  int nr = 0;
+  double dr = 0.0;
+  double cutoff = 0.0;
+  /// Per element: atomic number, mass, lattice constant, structure tag.
+  struct ElementMeta {
+    int atomic_number = 0;
+    double mass = 0.0;
+    double lattice = 0.0;
+    std::string structure;
+  };
+  std::vector<ElementMeta> meta;
+  std::vector<std::vector<double>> embed;    ///< F(rho), nrho values/element
+  std::vector<std::vector<double>> density;  ///< f(r), nr values/element
+  /// r*phi(r) for each unordered pair, file order: (0,0),(1,0),(1,1),...
+  std::vector<std::vector<double>> rphi;
+
+  int num_elements() const { return static_cast<int>(elements.size()); }
+};
+
+/// Parse setfl text; throws std::runtime_error with a description on
+/// malformed input.
+SetflData parse_setfl(std::istream& is);
+SetflData load_setfl(const std::string& path);
+
+/// Serialize (round-trip capable; used by tests and to export the built-in
+/// analytic potential for use with LAMMPS).
+void write_setfl(std::ostream& os, const SetflData& data);
+
+/// Export an EamModel by sampling it on a setfl grid.
+SetflData setfl_from_model(const EamModel& model,
+                           const std::vector<std::string>& element_names,
+                           int nr = 2000, int nrho = 2000);
+
+/// Build interpolation tables from setfl data. Density/pair interactions are
+/// linearly interpolated from the file grid and resampled onto this
+/// library's compacted-table grid; the setfl convention stores r*phi, which
+/// is divided out (with the r -> 0 singularity clamped at r_min).
+EamTableSet tables_from_setfl(const SetflData& data,
+                              int segments = CoefficientTable::kDefaultSegments,
+                              double r_min = 0.4);
+
+}  // namespace mmd::pot

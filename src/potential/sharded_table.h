@@ -1,0 +1,81 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "potential/spline.h"
+#include "sunway/register_mesh.h"
+
+namespace mmd::pot {
+
+/// The alternative table layout the paper weighs for alloys (§2.1.2):
+/// "distribute all the tables to the local stores of neighbor slave cores,
+/// and use register communication ... to transfer data between the local
+/// stores". Each core owns a contiguous shard of the compacted samples
+/// (5001 doubles / 64 cores ~ 79 samples, ~630 B — trivially resident);
+/// a lookup pulls its 6-sample window from the owning core(s) over the
+/// register mesh, one `remote_get` per shard touched (one or two).
+///
+/// The paper rejected this for two-sided register interfaces because "which
+/// data ... should be transferred cannot be known before runtime"; with the
+/// one-sided pull modeled in RegisterMesh (its §5 suggestion) the pattern
+/// becomes expressible — `bench/micro_register_sharding` quantifies the
+/// trade against resident tables and per-lookup main-memory DMA.
+class ShardedTableAccess {
+ public:
+  ShardedTableAccess(const CompactTable& table, sw::RegisterMesh& mesh,
+                     int my_core)
+      : table_(&table), mesh_(&mesh), me_(my_core) {
+    const std::int64_t n = table.num_samples();
+    const std::int64_t cores = mesh.size();
+    shard_size_ = (n + cores - 1) / cores;
+  }
+
+  /// Owning core of a sample index.
+  int owner_of(std::int64_t sample) const {
+    return static_cast<int>(sample / shard_size_);
+  }
+
+  std::int64_t shard_size() const { return shard_size_; }
+
+  void eval(double x, double* value, double* derivative) {
+    const auto i = static_cast<std::int64_t>(table_->segment_of(x));
+    const std::int64_t n = table_->num_samples();
+    const std::int64_t lo = std::clamp<std::int64_t>(i - 2, 0, n - 1);
+    const std::int64_t hi = std::clamp<std::int64_t>(i + 3, 0, n - 1);
+    double span[6];
+    // Pull the contiguous [lo, hi] window shard by shard: samples owned by
+    // this core are free local reads; remote shards cost one mesh message
+    // each (at most two shards can cover a 6-sample window).
+    std::int64_t pos = lo;
+    while (pos <= hi) {
+      const int owner = owner_of(pos);
+      const std::int64_t shard_end =
+          std::min<std::int64_t>(hi, (owner + 1) * shard_size_ - 1);
+      const std::size_t count = static_cast<std::size_t>(shard_end - pos + 1);
+      if (owner == me_) {
+        std::copy_n(table_->samples() + pos, count, span + (pos - lo));
+      } else {
+        mesh_->remote_get(me_, owner, span + (pos - lo), table_->samples() + pos,
+                          count * sizeof(double));
+      }
+      pos = shard_end + 1;
+    }
+    double window[6];
+    for (std::int64_t k = 0; k < 6; ++k) {
+      const std::int64_t src = std::clamp<std::int64_t>(i - 2 + k, lo, hi);
+      window[k] = span[src - lo];
+    }
+    CompactTable::eval_window(window, table_->param(x, static_cast<int>(i)),
+                              table_->dx(), value, derivative);
+  }
+
+ private:
+  const CompactTable* table_;
+  sw::RegisterMesh* mesh_;
+  int me_;
+  std::int64_t shard_size_;
+};
+
+}  // namespace mmd::pot

@@ -1,0 +1,163 @@
+#include "potential/spline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmd::pot {
+
+namespace hermite {
+
+double node_derivative(const double* s, std::int64_t n, std::int64_t i) {
+  auto at = [&](std::int64_t k) {
+    return s[std::clamp<std::int64_t>(k, 0, n - 1)];
+  };
+  // The paper's Fig. 5 formula: (S[i-2] - S[i+2] + 8*(S[i+1] - S[i-1]))/12,
+  // written here centered on node i.
+  return (at(i - 2) - at(i + 2) + 8.0 * (at(i + 1) - at(i - 1))) / 12.0;
+}
+
+double value(double s0, double s1, double d0, double d1, double t) {
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  return (2.0 * t3 - 3.0 * t2 + 1.0) * s0 + (t3 - 2.0 * t2 + t) * d0 +
+         (-2.0 * t3 + 3.0 * t2) * s1 + (t3 - t2) * d1;
+}
+
+double deriv_t(double s0, double s1, double d0, double d1, double t) {
+  const double t2 = t * t;
+  return (6.0 * t2 - 6.0 * t) * s0 + (3.0 * t2 - 4.0 * t + 1.0) * d0 +
+         (-6.0 * t2 + 6.0 * t) * s1 + (3.0 * t2 - 2.0 * t) * d1;
+}
+
+}  // namespace hermite
+
+namespace {
+
+void check_domain(double x_min, double x_max, int segments) {
+  if (!(x_max > x_min) || segments < 1) {
+    throw std::invalid_argument("spline table: need x_max > x_min and >= 1 segment");
+  }
+}
+
+std::vector<double> sample(const std::function<double(double)>& f, double x_min,
+                           double x_max, int segments) {
+  std::vector<double> s(static_cast<std::size_t>(segments) + 1);
+  const double dx = (x_max - x_min) / segments;
+  for (int i = 0; i <= segments; ++i) {
+    s[static_cast<std::size_t>(i)] = f(x_min + i * dx);
+  }
+  return s;
+}
+
+}  // namespace
+
+CoefficientTable CoefficientTable::build(const std::function<double(double)>& f,
+                                         double x_min, double x_max,
+                                         int segments) {
+  check_domain(x_min, x_max, segments);
+  // Build through the compact form so the two representations are identical
+  // by construction.
+  return CompactTable::build(f, x_min, x_max, segments).to_coefficients();
+}
+
+int CoefficientTable::segment_of(double x) const {
+  const int i = static_cast<int>((x - x_min_) / dx_);
+  return std::clamp(i, 0, segments() - 1);
+}
+
+double CoefficientTable::value(double x) const {
+  const int i = segment_of(x);
+  return eval_value(rows_[static_cast<std::size_t>(i)], param(x, i));
+}
+
+double CoefficientTable::derivative(double x) const {
+  const int i = segment_of(x);
+  return eval_derivative(rows_[static_cast<std::size_t>(i)], param(x, i), dx_);
+}
+
+CompactTable CompactTable::build(const std::function<double(double)>& f,
+                                 double x_min, double x_max, int segments) {
+  check_domain(x_min, x_max, segments);
+  CompactTable t;
+  t.x_min_ = x_min;
+  t.x_max_ = x_max;
+  t.dx_ = (x_max - x_min) / segments;
+  t.samples_ = sample(f, x_min, x_max, segments);
+  return t;
+}
+
+int CompactTable::segment_of(double x) const {
+  const int i = static_cast<int>((x - x_min_) / dx_);
+  return std::clamp(i, 0, segments() - 1);
+}
+
+void CompactTable::window_indices(std::int64_t i, std::int64_t num_samples,
+                                  std::int64_t out[6]) {
+  for (std::int64_t k = 0; k < 6; ++k) {
+    out[k] = std::clamp<std::int64_t>(i - 2 + k, 0, num_samples - 1);
+  }
+}
+
+void CompactTable::eval_window(const double window[6], double t, double dx,
+                               double* value, double* derivative) {
+  // window nominal layout: [i-2, i-1, i, i+1, i+2, i+3] (edge-clamped).
+  // Node derivatives at i and i+1 from the paper's 5-point stencil.
+  const double d0 =
+      (window[0] - window[4] + 8.0 * (window[3] - window[1])) / 12.0;
+  const double d1 =
+      (window[1] - window[5] + 8.0 * (window[4] - window[2])) / 12.0;
+  if (value) *value = hermite::value(window[2], window[3], d0, d1, t);
+  if (derivative) {
+    *derivative = hermite::deriv_t(window[2], window[3], d0, d1, t) / dx;
+  }
+}
+
+double CompactTable::value(double x) const {
+  double v;
+  eval(x, &v, nullptr);
+  return v;
+}
+
+double CompactTable::derivative(double x) const {
+  double d;
+  eval(x, nullptr, &d);
+  return d;
+}
+
+void CompactTable::eval(double x, double* value, double* derivative) const {
+  const std::int64_t i = segment_of(x);
+  const std::int64_t n = num_samples();
+  std::int64_t idx[6];
+  window_indices(i, n, idx);
+  double w[6];
+  for (int k = 0; k < 6; ++k) w[k] = samples_[static_cast<std::size_t>(idx[k])];
+  eval_window(w, param(x, static_cast<int>(i)), dx_, value, derivative);
+}
+
+CoefficientTable CompactTable::to_coefficients() const {
+  CoefficientTable t;
+  t.x_min_ = x_min_;
+  t.x_max_ = x_max_;
+  t.dx_ = dx_;
+  const std::int64_t n = num_samples();
+  t.rows_.resize(static_cast<std::size_t>(segments()));
+  for (std::int64_t i = 0; i < segments(); ++i) {
+    const double s0 = samples_[static_cast<std::size_t>(i)];
+    const double s1 = samples_[static_cast<std::size_t>(i + 1)];
+    const double d0 = hermite::node_derivative(samples_.data(), n, i);
+    const double d1 = hermite::node_derivative(samples_.data(), n, i + 1);
+    // Power basis: value = c3 t^3 + c4 t^2 + c5 t + c6.
+    auto& r = t.rows_[static_cast<std::size_t>(i)];
+    r[3] = 2.0 * s0 - 2.0 * s1 + d0 + d1;
+    r[4] = -3.0 * s0 + 3.0 * s1 - 2.0 * d0 - d1;
+    r[5] = d0;
+    r[6] = s0;
+    // Derivative polynomial (columns 0-2), to be divided by dx at eval time.
+    r[0] = 3.0 * r[3];
+    r[1] = 2.0 * r[4];
+    r[2] = r[5];
+  }
+  return t;
+}
+
+}  // namespace mmd::pot

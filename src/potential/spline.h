@@ -1,0 +1,127 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mmd::pot {
+
+/// Cubic Hermite evaluation shared by both table formats. Node derivatives
+/// come from the 5-point finite-difference stencil the paper shows in Fig. 5:
+///   d[i] = (S[i-2] - S[i+2] + 8*(S[i+1] - S[i-1])) / 12
+/// (indices clamped at the table edges), so the traditional coefficient table
+/// and the on-the-fly compacted evaluation produce IDENTICAL values.
+namespace hermite {
+
+/// Node derivative (per segment-unit) from a clamped 5-point stencil over the
+/// sample array `s` of length `n`.
+double node_derivative(const double* s, std::int64_t n, std::int64_t i);
+
+/// Evaluate the Hermite cubic of segment [i, i+1] at parameter t in [0,1].
+double value(double s0, double s1, double d0, double d1, double t);
+
+/// Derivative with respect to t of the same cubic.
+double deriv_t(double s0, double s1, double d0, double d1, double t);
+
+}  // namespace hermite
+
+/// The "traditional interpolation table" (paper Fig. 5, as in LAMMPS/CoMD):
+/// one row of 7 coefficients per segment — columns 3-6 the cubic value
+/// polynomial, columns 0-2 its derivative polynomial. At 5000 segments of
+/// doubles this is ~273 KB, which does NOT fit a 64 KB local store, forcing a
+/// DMA per lookup on the slave cores.
+class CoefficientTable {
+ public:
+  using Row = std::array<double, 7>;
+  static constexpr int kDefaultSegments = 5000;
+
+  /// Sample `f` uniformly over [x_min, x_max] and build segment coefficients
+  /// via the 5-point-stencil Hermite construction.
+  static CoefficientTable build(const std::function<double(double)>& f,
+                                double x_min, double x_max,
+                                int segments = kDefaultSegments);
+
+  double x_min() const { return x_min_; }
+  double x_max() const { return x_max_; }
+  int segments() const { return static_cast<int>(rows_.size()); }
+  double dx() const { return dx_; }
+
+  /// Segment index for x (clamped into range).
+  int segment_of(double x) const;
+  /// Normalized parameter t in [0,1] within segment i.
+  double param(double x, int i) const { return x / dx_ - x_min_ / dx_ - i; }
+
+  const Row& row(int i) const { return rows_[static_cast<std::size_t>(i)]; }
+  const Row* data() const { return rows_.data(); }
+
+  double value(double x) const;
+  double derivative(double x) const;
+
+  /// Evaluate from an externally fetched row (the slave-core DMA path).
+  static double eval_value(const Row& r, double t) {
+    return ((r[3] * t + r[4]) * t + r[5]) * t + r[6];
+  }
+  static double eval_derivative(const Row& r, double t, double dx) {
+    return ((r[0] * t + r[1]) * t + r[2]) / dx;
+  }
+
+  std::size_t bytes() const { return rows_.size() * sizeof(Row); }
+
+ private:
+  friend class CompactTable;
+  double x_min_ = 0.0, x_max_ = 1.0, dx_ = 1.0;
+  std::vector<Row> rows_;
+};
+
+/// The paper's compacted interpolation table: only the sampled values are
+/// stored (segments+1 doubles, ~39 KB for 5000 segments — 1/7 of the
+/// traditional table, small enough to be resident in the local store).
+/// Coefficients are reconstructed on the fly from a 6-sample window using the
+/// same stencil, trading a little extra arithmetic for far fewer DMA
+/// transfers (paper §2.1.2).
+class CompactTable {
+ public:
+  static CompactTable build(const std::function<double(double)>& f, double x_min,
+                            double x_max,
+                            int segments = CoefficientTable::kDefaultSegments);
+
+  double x_min() const { return x_min_; }
+  double x_max() const { return x_max_; }
+  int segments() const { return static_cast<int>(samples_.size()) - 1; }
+  double dx() const { return dx_; }
+
+  int segment_of(double x) const;
+  double param(double x, int i) const { return x / dx_ - x_min_ / dx_ - i; }
+
+  const double* samples() const { return samples_.data(); }
+  std::int64_t num_samples() const { return static_cast<std::int64_t>(samples_.size()); }
+
+  double value(double x) const;
+  double derivative(double x) const;
+  void eval(double x, double* value, double* derivative) const;
+
+  /// Evaluate segment i from a caller-supplied window of the 6 samples with
+  /// nominal indices [i-2, i+3]; at table edges the out-of-range slots must
+  /// hold the clamped (edge-replicated) samples, exactly as `window_indices`
+  /// prescribes. This is the on-the-fly path used when the samples were
+  /// DMA-fetched to a local store.
+  static void eval_window(const double window[6], double t, double dx,
+                          double* value, double* derivative);
+
+  /// The 6 (clamped) sample indices needed to evaluate segment i.
+  static void window_indices(std::int64_t i, std::int64_t num_samples,
+                             std::int64_t out[6]);
+
+  /// Expand this table into the equivalent traditional coefficient table.
+  CoefficientTable to_coefficients() const;
+
+  std::size_t bytes() const { return samples_.size() * sizeof(double); }
+
+ private:
+  double x_min_ = 0.0, x_max_ = 1.0, dx_ = 1.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace mmd::pot

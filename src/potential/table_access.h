@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "potential/spline.h"
+#include "sunway/dma.h"
+#include "sunway/local_store.h"
+
+namespace mmd::pot {
+
+/// Slave-core access path to a compacted table.
+///
+/// If the samples fit the remaining local store, they are staged with ONE
+/// bulk DMA and every lookup is local (the paper's resident case: "we load
+/// the whole compacted table into the local store at one time"). Otherwise
+/// each lookup DMAs the contiguous 6-sample window it needs — still a single
+/// small transfer instead of the traditional table's full coefficient row.
+class CompactTableAccess {
+ public:
+  CompactTableAccess(const CompactTable& table, sw::LocalStore& store,
+                     sw::DmaEngine& dma, bool want_resident = true)
+      : table_(&table), dma_(&dma) {
+    if (want_resident) {
+      const std::size_t bytes =
+          static_cast<std::size_t>(table.num_samples()) * sizeof(double);
+      local_ = store.allocate_array<double>(
+          static_cast<std::size_t>(table.num_samples()));
+      if (local_ != nullptr) {
+        dma_->get(local_, table.samples(), bytes);
+      }
+    }
+  }
+
+  bool resident() const { return local_ != nullptr; }
+
+  void eval(double x, double* value, double* derivative) {
+    const auto i = static_cast<std::int64_t>(table_->segment_of(x));
+    const std::int64_t n = table_->num_samples();
+    double window[6];
+    if (local_ != nullptr) {
+      std::int64_t idx[6];
+      CompactTable::window_indices(i, n, idx);
+      for (int k = 0; k < 6; ++k) window[k] = local_[idx[k]];
+    } else {
+      // The clamped window [i-2, i+3] is a contiguous span: one DMA get.
+      const std::int64_t lo = std::clamp<std::int64_t>(i - 2, 0, n - 1);
+      const std::int64_t hi = std::clamp<std::int64_t>(i + 3, 0, n - 1);
+      double span[6];
+      dma_->get(span, table_->samples() + lo,
+                static_cast<std::size_t>(hi - lo + 1) * sizeof(double));
+      for (std::int64_t k = 0; k < 6; ++k) {
+        const std::int64_t src = std::clamp<std::int64_t>(i - 2 + k, lo, hi);
+        window[k] = span[src - lo];
+      }
+    }
+    CompactTable::eval_window(window, table_->param(x, static_cast<int>(i)),
+                              table_->dx(), value, derivative);
+  }
+
+ private:
+  const CompactTable* table_;
+  sw::DmaEngine* dma_;
+  double* local_ = nullptr;
+};
+
+/// Slave-core access path to a traditional coefficient table: at ~273 KB it
+/// can never be resident in a 64 KB local store, so EVERY lookup costs one
+/// DMA get of the 56-byte coefficient row — the overhead the compacted table
+/// eliminates (paper §2.1.2).
+class CoefficientTableAccess {
+ public:
+  CoefficientTableAccess(const CoefficientTable& table, sw::DmaEngine& dma)
+      : table_(&table), dma_(&dma) {}
+
+  void eval(double x, double* value, double* derivative) {
+    const int i = table_->segment_of(x);
+    CoefficientTable::Row row;
+    dma_->get(row.data(), table_->row(i).data(), sizeof(row));
+    const double t = table_->param(x, i);
+    if (value) *value = CoefficientTable::eval_value(row, t);
+    if (derivative) {
+      *derivative = CoefficientTable::eval_derivative(row, t, table_->dx());
+    }
+  }
+
+ private:
+  const CoefficientTable* table_;
+  sw::DmaEngine* dma_;
+};
+
+}  // namespace mmd::pot

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sunway/slave_pool.h"
+
+namespace mmd::sw {
+
+/// Shape parameters of the simulated SW26010 core group (paper Fig. 4).
+struct CoreGroupConfig {
+  std::size_t slave_cores = SlaveCorePool::kSunwayCoreGroupSize;
+  std::size_t local_store_bytes = LocalStore::kSunwayCapacity;
+  DmaCostModel dma_cost{};
+  /// Cap on real OS threads backing the logical CPEs (0 = hardware default).
+  std::size_t max_os_threads = 0;
+};
+
+/// One MPE (master core) plus its CPE cluster. The MPE side is simply the
+/// calling thread — it handles communication and orchestration, mirroring the
+/// paper's split: "the master cores are responsible for inter-node
+/// communication and the slave cores are responsible for the EAM
+/// computation".
+class CoreGroup {
+ public:
+  explicit CoreGroup(const CoreGroupConfig& cfg = {})
+      : cfg_(cfg),
+        pool_(cfg.slave_cores, cfg.local_store_bytes, cfg.dma_cost,
+              cfg.max_os_threads) {}
+
+  SlaveCorePool& slaves() { return pool_; }
+  const CoreGroupConfig& config() const { return cfg_; }
+
+ private:
+  CoreGroupConfig cfg_;
+  SlaveCorePool pool_;
+};
+
+}  // namespace mmd::sw

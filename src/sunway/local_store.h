@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmd::sw {
+
+/// Software model of one CPE (slave core) local store: a fixed-capacity,
+/// user-managed scratchpad (64 KB on the SW26010, paper §2.1.2).
+///
+/// Allocation is a bump pointer: buffers are carved off in order and freed
+/// all at once with `reset()`, matching how the paper's kernels stage data
+/// per block. Allocation FAILS (returns nullptr) when capacity is exceeded —
+/// this is the hardware constraint that forces the compacted interpolation
+/// table: a traditional 5000x7 double table (273 KB) cannot be resident,
+/// while the 5000-sample compact table (39 KB) can.
+class LocalStore {
+ public:
+  /// SW26010 CPE local store size in bytes.
+  static constexpr std::size_t kSunwayCapacity = 64 * 1024;
+
+  explicit LocalStore(std::size_t capacity = kSunwayCapacity)
+      : storage_(capacity), capacity_(capacity) {}
+
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
+
+  /// Allocate `bytes` with the given alignment. Returns nullptr if the
+  /// request does not fit in the remaining space.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t offset = (used_ + align - 1) / align * align;
+    if (offset + bytes > capacity_) return nullptr;
+    used_ = offset + bytes;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return storage_.data() + offset;
+  }
+
+  /// Typed allocation of `count` elements of T; nullptr when it does not fit.
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Whether an allocation of `bytes` would currently succeed.
+  bool fits(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) const {
+    const std::size_t offset = (used_ + align - 1) / align * align;
+    return offset + bytes <= capacity_;
+  }
+
+  /// Release everything allocated so far (buffers become dangling).
+  void reset() { used_ = 0; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t remaining() const { return capacity_ - used_; }
+
+  /// Maximum bytes ever simultaneously live — reported by the memory
+  /// footprint bench.
+  std::size_t high_water_mark() const { return high_water_; }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace mmd::sw

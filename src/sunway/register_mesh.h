@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace mmd::sw {
+
+/// Software model of the SW26010 CPE register-communication mesh.
+///
+/// The 64 CPEs of a core group form an 8x8 grid; a core can move register
+/// payloads to another core in the same row or the same column in a few
+/// cycles, and to any other core in two hops (row then column). The paper
+/// considers distributing the alloy interpolation tables across the local
+/// stores of neighbor slave cores and fetching entries over this mesh
+/// (§2.1.2), and its conclusion (§5) asks for one-sided register
+/// communication to make such irregular transfers practical. This model
+/// implements exactly that one-sided style: `remote_get` pulls bytes out of
+/// a peer core's local store, metering messages, bytes, and hop-weighted
+/// modeled time.
+/// Cost parameters of one register-communication hop.
+struct RegisterCostModel {
+  double hop_latency_s = 1.1e-8;        ///< ~16 cycles at 1.45 GHz per hop
+  double bandwidth_bytes_per_s = 46e9;  ///< 256-bit per cycle peak
+};
+
+class RegisterMesh {
+ public:
+  using CostModel = RegisterCostModel;
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t hops = 0;
+
+    Stats& operator+=(const Stats& o) {
+      messages += o.messages;
+      bytes += o.bytes;
+      hops += o.hops;
+      return *this;
+    }
+  };
+
+  explicit RegisterMesh(int rows = 8, int cols = 8,
+                        RegisterCostModel cost = RegisterCostModel())
+      : rows_(rows), cols_(cols), cost_(cost),
+        stats_(static_cast<std::size_t>(rows) * cols) {
+    if (rows <= 0 || cols <= 0) {
+      throw std::invalid_argument("RegisterMesh: bad dimensions");
+    }
+  }
+
+  int size() const { return rows_ * cols_; }
+
+  /// Mesh hops between two cores: 0 (same), 1 (same row or column), else 2.
+  int hops(int from, int to) const {
+    check_core(from);
+    check_core(to);
+    if (from == to) return 0;
+    const int fr = from / cols_, fc = from % cols_;
+    const int tr = to / cols_, tc = to % cols_;
+    return (fr == tr || fc == tc) ? 1 : 2;
+  }
+
+  /// One-sided pull of `bytes` from core `owner`'s local store into `dst`
+  /// (the caller's buffer), accounted against the calling core `me`.
+  void remote_get(int me, int owner, void* dst, const void* src,
+                  std::size_t bytes) {
+    std::memcpy(dst, src, bytes);
+    Stats& s = stats_[static_cast<std::size_t>(me)];
+    ++s.messages;
+    s.bytes += bytes;
+    s.hops += static_cast<std::uint64_t>(hops(me, owner));
+  }
+
+  const Stats& stats(int core) const {
+    check_core(core);
+    return stats_[static_cast<std::size_t>(core)];
+  }
+
+  Stats total_stats() const {
+    Stats t;
+    for (const auto& s : stats_) t += s;
+    return t;
+  }
+
+  /// Modeled time spent by `core` on mesh transfers.
+  double modeled_time(int core) const {
+    const Stats& s = stats(core);
+    return static_cast<double>(s.hops) * cost_.hop_latency_s +
+           static_cast<double>(s.bytes) / cost_.bandwidth_bytes_per_s;
+  }
+
+  double max_modeled_time() const {
+    double m = 0.0;
+    for (int c = 0; c < size(); ++c) m = std::max(m, modeled_time(c));
+    return m;
+  }
+
+  void reset_stats() {
+    for (auto& s : stats_) s = Stats{};
+  }
+
+ private:
+  void check_core(int c) const {
+    if (c < 0 || c >= size()) throw std::out_of_range("RegisterMesh: bad core id");
+  }
+
+  int rows_, cols_;
+  CostModel cost_;
+  std::vector<Stats> stats_;
+};
+
+}  // namespace mmd::sw

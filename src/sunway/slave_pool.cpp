@@ -1,0 +1,83 @@
+#include "sunway/slave_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace mmd::sw {
+
+SlaveCorePool::SlaveCorePool(std::size_t num_slave_cores,
+                             std::size_t local_store_bytes,
+                             DmaCostModel dma_cost,
+                             std::size_t max_os_threads) {
+  cores_.reserve(num_slave_cores);
+  ctxs_.reserve(num_slave_cores);
+  for (std::size_t i = 0; i < num_slave_cores; ++i) {
+    Core c;
+    c.store = std::make_unique<LocalStore>(local_store_bytes);
+    c.dma = std::make_unique<DmaEngine>(dma_cost);
+    cores_.push_back(std::move(c));
+    auto ctx = std::make_unique<SlaveCtx>();
+    ctx->core_id = i;
+    ctx->local_store = cores_[i].store.get();
+    ctx->dma = cores_[i].dma.get();
+    ctxs_.push_back(std::move(ctx));
+  }
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  os_threads_ = max_os_threads == 0 ? std::min(hw, num_slave_cores)
+                                    : std::min(max_os_threads, num_slave_cores);
+}
+
+SlaveCorePool::~SlaveCorePool() = default;
+
+void SlaveCorePool::run(const std::function<void(SlaveCtx&)>& fn) {
+  if (cores_.empty()) return;
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < cores_.size();
+         i = next.fetch_add(1)) {
+      ctxs_[i]->local_store->reset();
+      fn(*ctxs_[i]);
+    }
+  };
+  if (os_threads_ <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(os_threads_ - 1);
+  for (std::size_t t = 1; t < os_threads_; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+}
+
+void SlaveCorePool::parallel_for(
+    std::size_t n, const std::function<void(SlaveCtx&, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t cores = cores_.size();
+  run([&](SlaveCtx& ctx) {
+    // Contiguous slab per core, like the paper's subdomain-into-slabs split.
+    const std::size_t chunk = (n + cores - 1) / cores;
+    const std::size_t begin = ctx.core_id * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) fn(ctx, i);
+  });
+}
+
+DmaStats SlaveCorePool::aggregate_dma_stats() const {
+  DmaStats total;
+  for (const auto& c : cores_) total += c.dma->stats();
+  return total;
+}
+
+double SlaveCorePool::max_modeled_dma_time() const {
+  double m = 0.0;
+  for (const auto& c : cores_) m = std::max(m, c.dma->modeled_time());
+  return m;
+}
+
+void SlaveCorePool::reset_stats() {
+  for (auto& c : cores_) c.dma->reset_stats();
+}
+
+}  // namespace mmd::sw

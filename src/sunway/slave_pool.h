@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sunway/dma.h"
+#include "sunway/local_store.h"
+
+namespace mmd::sw {
+
+/// Per-slave-core execution context handed to kernels: the core id within the
+/// core group, its private local store, and its DMA engine.
+struct SlaveCtx {
+  std::size_t core_id = 0;
+  LocalStore* local_store = nullptr;
+  DmaEngine* dma = nullptr;
+};
+
+/// Athread-style fork/join pool over the 64 CPEs of one core group
+/// (paper §2.1.2: "each process launches 64 threads ... using the Athread
+/// multithreading library").
+///
+/// `num_slave_cores` logical CPEs are multiplexed onto at most
+/// `max_os_threads` OS threads; each logical core keeps its own LocalStore
+/// and DmaEngine across invocations so stats accumulate per core.
+class SlaveCorePool {
+ public:
+  static constexpr std::size_t kSunwayCoreGroupSize = 64;
+
+  explicit SlaveCorePool(std::size_t num_slave_cores = kSunwayCoreGroupSize,
+                         std::size_t local_store_bytes = LocalStore::kSunwayCapacity,
+                         DmaCostModel dma_cost = {},
+                         std::size_t max_os_threads = 0);
+  ~SlaveCorePool();
+
+  SlaveCorePool(const SlaveCorePool&) = delete;
+  SlaveCorePool& operator=(const SlaveCorePool&) = delete;
+
+  std::size_t size() const { return cores_.size(); }
+
+  /// Run `fn(ctx)` once on every logical slave core (athread spawn/join).
+  void run(const std::function<void(SlaveCtx&)>& fn);
+
+  /// Static partition of tasks [0, n) over the slave cores; each core
+  /// processes a contiguous chunk (the paper's slab decomposition).
+  void parallel_for(std::size_t n,
+                    const std::function<void(SlaveCtx&, std::size_t)>& fn);
+
+  /// Aggregate DMA statistics over all slave cores.
+  DmaStats aggregate_dma_stats() const;
+
+  /// Maximum modeled DMA time over cores (the critical path of a fork/join
+  /// phase).
+  double max_modeled_dma_time() const;
+
+  void reset_stats();
+
+  /// Direct access to one core's context (for tests).
+  SlaveCtx& core(std::size_t i) { return *ctxs_[i]; }
+
+ private:
+  struct Core {
+    std::unique_ptr<LocalStore> store;
+    std::unique_ptr<DmaEngine> dma;
+  };
+
+  std::vector<Core> cores_;
+  std::vector<std::unique_ptr<SlaveCtx>> ctxs_;
+  std::size_t os_threads_;
+};
+
+}  // namespace mmd::sw

@@ -1,0 +1,132 @@
+#include "util/key_value.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mmd::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto b = s.begin();
+  auto e = s.end();
+  while (b != e && std::isspace(static_cast<unsigned char>(*b))) ++b;
+  while (e != b && std::isspace(static_cast<unsigned char>(*(e - 1)))) --e;
+  return {b, e};
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+KeyValueConfig KeyValueConfig::parse(const std::string& text) {
+  KeyValueConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments (# or ;) outside of values' leading text.
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("KeyValueConfig: missing '=' on line " +
+                                  std::to_string(lineno));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::invalid_argument("KeyValueConfig: empty key on line " +
+                                  std::to_string(lineno));
+    }
+    if (cfg.values_.count(key) > 0) {
+      throw std::invalid_argument("KeyValueConfig: duplicate key '" + key +
+                                  "' on line " + std::to_string(lineno));
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+KeyValueConfig KeyValueConfig::parse_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("KeyValueConfig: cannot read " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+std::optional<std::string> KeyValueConfig::get(const std::string& key) const {
+  mark_known(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string KeyValueConfig::get_string(const std::string& key,
+                                       const std::string& dflt) const {
+  return get(key).value_or(dflt);
+}
+
+double KeyValueConfig::get_double(const std::string& key, double dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing");
+    return d;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("KeyValueConfig: '" + key + "' = '" + *v +
+                                "' is not a number");
+  }
+}
+
+std::int64_t KeyValueConfig::get_int(const std::string& key,
+                                     std::int64_t dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  try {
+    std::size_t pos = 0;
+    const long long i = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing");
+    return i;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("KeyValueConfig: '" + key + "' = '" + *v +
+                                "' is not an integer");
+  }
+}
+
+bool KeyValueConfig::get_bool(const std::string& key, bool dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  const std::string s = lower(*v);
+  if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "off" || s == "0") return false;
+  throw std::invalid_argument("KeyValueConfig: '" + key + "' = '" + *v +
+                              "' is not a boolean");
+}
+
+void KeyValueConfig::mark_known(const std::string& key) const {
+  touched_[key] = true;
+}
+
+std::vector<std::string> KeyValueConfig::unknown_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (touched_.count(k) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace mmd::util

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmd::util {
+
+/// Minimal key=value configuration format used by the CLI driver:
+///
+///   # comment
+///   box = 12            ; trailing comments too
+///   temperature = 600.0
+///   kmc.strategy = on-demand
+///
+/// Keys are dot-namespaced strings; values are parsed on access with typed
+/// getters that validate and report precise errors. Unknown keys can be
+/// enumerated so drivers can reject typos instead of ignoring them.
+class KeyValueConfig {
+ public:
+  KeyValueConfig() = default;
+
+  /// Parse from text; throws std::invalid_argument with a line number on
+  /// malformed input (missing '=', empty key, duplicate key).
+  static KeyValueConfig parse(const std::string& text);
+
+  /// Parse a file; throws std::runtime_error if unreadable.
+  static KeyValueConfig parse_file(const std::string& path);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Raw string access.
+  std::optional<std::string> get(const std::string& key) const;
+
+  // Typed getters with defaults; throw std::invalid_argument on a value
+  // that does not parse as the requested type.
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  /// Record that a key is recognized; see unknown_keys().
+  void mark_known(const std::string& key) const;
+
+  /// Keys present in the file that no getter or mark_known() touched —
+  /// drivers should treat a non-empty result as a configuration error.
+  std::vector<std::string> unknown_keys() const;
+
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace mmd::util

@@ -1,0 +1,14 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace mmd::util {
+
+double geometric_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace mmd::util

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mmd::util {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void add_tracked(double x) {
+    if (n_ == 0 || x < min_) min_ = x;
+    if (n_ == 0 || x > max_) max_ = x;
+    add(x);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Integer-keyed histogram (e.g. vacancy-cluster size distribution).
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t count = 1) { bins_[key] += count; }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [k, v] : bins_) t += v;
+    return t;
+  }
+
+  /// Sum of key*count — e.g. total vacancies across all clusters.
+  std::int64_t weighted_total() const {
+    std::int64_t t = 0;
+    for (const auto& [k, v] : bins_) t += k * static_cast<std::int64_t>(v);
+    return t;
+  }
+
+  double mean_key() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(weighted_total()) / static_cast<double>(t);
+  }
+
+  std::int64_t max_key() const { return bins_.empty() ? 0 : bins_.rbegin()->first; }
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+};
+
+/// Geometric mean of a series of ratios (used for the "improved by X% on
+/// average in geometric mean" comparisons in the paper's evaluation).
+double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace mmd::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <chrono>
+
+namespace mmd::util {
+
+/// Wall-clock stopwatch. `elapsed()` returns seconds since construction or
+/// the last `reset()`.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time across multiple start/stop intervals; used to split
+/// computation time from communication time in the scaling benches.
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += t_.elapsed();
+      running_ = false;
+    }
+  }
+
+  double total() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace mmd::util

@@ -1,0 +1,57 @@
+#pragma once
+
+namespace mmd::util {
+
+/// Metal units, following the LAMMPS "metal" convention:
+///   length      Angstrom (A)
+///   time        picosecond (ps)
+///   energy      electron-volt (eV)
+///   mass        atomic mass unit (amu)
+///   temperature Kelvin (K)
+///   force       eV/A
+/// Velocities are A/ps; accelerations A/ps^2.
+namespace units {
+
+/// Boltzmann constant [eV/K].
+inline constexpr double kBoltzmann = 8.617333262e-5;
+
+/// Conversion from force/mass to acceleration:
+/// 1 (eV/A)/amu = kForceToAccel A/ps^2.
+inline constexpr double kForceToAccel = 9648.53329;
+
+/// Equivalently, (1/2) m v^2 in eV requires v^2 [A^2/ps^2] * m [amu] *
+/// kVel2ToEnergy.
+inline constexpr double kVel2ToEnergy = 1.0 / kForceToAccel;
+
+/// One femtosecond in ps — the paper's MD time step.
+inline constexpr double kFemtosecond = 1.0e-3;
+
+/// One picosecond expressed in seconds (for KMC real-time bookkeeping).
+inline constexpr double kPicosecondInSeconds = 1.0e-12;
+
+}  // namespace units
+
+/// Material constants for BCC iron as simulated by the paper.
+namespace iron {
+
+/// Lattice constant [A] (paper §3: "The lattice constant is set to 2.855").
+inline constexpr double kLatticeConstant = 2.855;
+
+/// Atomic mass of Fe [amu].
+inline constexpr double kMass = 55.845;
+
+/// Vacancy formation energy [eV] (used in t_real = t_thr * C_MC / C_real).
+/// The paper does not state E_v+ but reports t_real = 19.2 days from
+/// t_thr = 2e-4, C_MC = 2e-6, T = 600 K; inverting the formula gives
+/// E_v+ = 1.86 eV, within the literature range for alpha-Fe.
+inline constexpr double kVacancyFormationEnergy = 1.86;
+
+/// Vacancy migration barrier [eV] for nearest-neighbor hops in alpha-Fe.
+inline constexpr double kVacancyMigrationBarrier = 0.65;
+
+/// KMC attempt frequency (pre-exponential factor) [1/s].
+inline constexpr double kAttemptFrequency = 1.0e13;
+
+}  // namespace iron
+
+}  // namespace mmd::util

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kmc/engine.h"
+#include "md/engine.h"
+
+namespace mmd {
+namespace {
+
+constexpr double kA = 2.855;
+
+struct AlloyMdRig {
+  md::MdConfig cfg;
+  md::MdSetup setup;
+  pot::EamTableSet tables;
+
+  AlloyMdRig()
+      : cfg(make_cfg()),
+        setup(cfg, 1),
+        tables(pot::EamTableSet::build(
+            pot::EamModel::iron_copper(kA, cfg.cutoff), cfg.table_segments)) {}
+
+  static md::MdConfig make_cfg() {
+    md::MdConfig c;
+    c.nx = c.ny = c.nz = 6;
+    c.temperature = 300.0;
+    c.table_segments = 500;
+    return c;
+  }
+};
+
+TEST(AlloyMd, SeedSolutesRequiresAlloyTables) {
+  md::MdConfig cfg = AlloyMdRig::make_cfg();
+  md::MdSetup setup(cfg, 1);
+  const auto fe_only = pot::EamTableSet::build(
+      pot::EamModel::iron(kA, cfg.cutoff), cfg.table_segments);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, fe_only, comm.rank());
+    engine.initialize(comm);
+    EXPECT_THROW(engine.seed_solutes(comm, 0.05), std::invalid_argument);
+  });
+}
+
+TEST(AlloyMd, SolutesSeededAndStable) {
+  AlloyMdRig rig;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(rig.cfg, rig.setup.geo, rig.setup.dd, rig.tables,
+                        comm.rank());
+    engine.initialize(comm);
+    engine.seed_solutes(comm, 0.10);
+    auto& lnl = engine.lattice();
+    std::size_t cu = 0;
+    for (std::size_t i : lnl.owned_indices()) {
+      if (lnl.entry(i).is_atom() && lnl.entry(i).type == lat::Species::Cu) ++cu;
+    }
+    // ~10% of 432 atoms, binomial noise.
+    EXPECT_GT(cu, 20u);
+    EXPECT_LT(cu, 70u);
+    // Dynamics stays sane: short NVE run keeps the crystal intact.
+    engine.run(comm, 20);
+    const auto d = engine.defects(comm);
+    EXPECT_EQ(d.vacancies, 0u);
+    EXPECT_EQ(d.atoms, static_cast<std::uint64_t>(rig.setup.geo.num_sites()));
+  });
+}
+
+TEST(AlloyMd, SoluteArrangementDecompositionIndependent) {
+  AlloyMdRig rig;
+  auto census = [&](int nranks) {
+    md::MdSetup setup(rig.cfg, nranks);
+    std::vector<std::int64_t> cu_ids;
+    std::mutex m;
+    comm::World world(nranks);
+    world.run([&](comm::Comm& comm) {
+      md::MdEngine engine(rig.cfg, setup.geo, setup.dd, rig.tables, comm.rank());
+      engine.initialize(comm);
+      engine.seed_solutes(comm, 0.08);
+      auto& lnl = engine.lattice();
+      std::lock_guard lk(m);
+      for (std::size_t i : lnl.owned_indices()) {
+        if (lnl.entry(i).is_atom() && lnl.entry(i).type == lat::Species::Cu) {
+          cu_ids.push_back(lnl.entry(i).id);
+        }
+      }
+    });
+    std::sort(cu_ids.begin(), cu_ids.end());
+    return cu_ids;
+  };
+  EXPECT_EQ(census(1), census(2));
+}
+
+TEST(AlloyMd, MixedForcesDifferFromPureIron) {
+  // Same geometry, same seed; substituting Cu changes the local forces.
+  AlloyMdRig rig;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(rig.cfg, rig.setup.geo, rig.setup.dd, rig.tables,
+                        comm.rank());
+    engine.initialize(comm);
+    // Perturb one atom, record the force answer for Fe...
+    auto& lnl = engine.lattice();
+    const std::size_t idx = lnl.box().entry_index({3, 3, 3, 0});
+    const std::size_t nb = lnl.box().entry_index({3, 3, 3, 1});
+    lnl.entry(idx).r += util::Vec3{0.3, 0.0, 0.0};
+    md::ReferenceForce force(rig.tables);
+    force.compute_rho(lnl);
+    force.compute_forces(lnl);
+    const util::Vec3 f_fe = lnl.entry(nb).f;
+    // ...then make the perturbed atom Cu and recompute.
+    lnl.entry(idx).type = lat::Species::Cu;
+    force.compute_rho(lnl);
+    force.compute_forces(lnl);
+    const util::Vec3 f_cu = lnl.entry(nb).f;
+    EXPECT_GT((f_fe - f_cu).norm(), 1e-6);
+  });
+}
+
+struct AlloyKmcRig {
+  kmc::KmcConfig cfg;
+  kmc::KmcSetup setup;
+  pot::EamTableSet tables;
+
+  explicit AlloyKmcRig(int nranks)
+      : cfg(make_cfg()),
+        setup(cfg, nranks),
+        tables(pot::EamTableSet::build(
+            pot::EamModel::iron_copper(kA, cfg.cutoff), cfg.table_segments)) {}
+
+  static kmc::KmcConfig make_cfg() {
+    kmc::KmcConfig c;
+    c.nx = c.ny = c.nz = 10;
+    c.table_segments = 300;
+    c.dt_scale = 2.0;
+    return c;
+  }
+};
+
+TEST(AlloyKmc, SolutesSeededAndConserved) {
+  AlloyKmcRig rig(2);
+  comm::World world(2);
+  world.run([&](comm::Comm& comm) {
+    kmc::KmcEngine engine(rig.cfg, rig.setup.geo, rig.setup.dd, rig.tables,
+                          comm.rank(), kmc::GhostStrategy::OnDemandOneSided);
+    engine.initialize_random(comm, 0.01, 0.05);
+    auto count_cu = [&] {
+      std::uint64_t cu = 0;
+      for (std::size_t i : engine.model().owned_indices()) {
+        if (engine.model().state(i) == kmc::SiteState::Cu) ++cu;
+      }
+      return comm.allreduce_sum_u64(cu);
+    };
+    const auto cu_before = count_cu();
+    EXPECT_GT(cu_before, 30u);
+    engine.run_cycles(comm, 4);
+    // Vacancy exchanges move Cu atoms but never create or destroy them.
+    EXPECT_EQ(count_cu(), cu_before);
+    const auto vacs = engine.gather_vacancies(comm);
+    const auto n = comm.allreduce_sum_u64(
+        static_cast<std::uint64_t>(engine.model().count_owned_vacancies()));
+    if (comm.rank() == 0) EXPECT_EQ(vacs.size(), n);
+  });
+}
+
+TEST(AlloyKmc, CuHopsHaveDifferentRates) {
+  AlloyKmcRig rig(1);
+  const auto& model_tables = rig.tables;
+  kmc::KmcModel model(rig.cfg, rig.setup.geo, rig.setup.dd, model_tables, 0);
+  // Vacancy with one Cu neighbor and the rest Fe.
+  const std::size_t vac = model.index_of_local({5, 5, 5, 0});
+  const std::size_t cu = model.index_of_local({5, 5, 5, 1});
+  const std::size_t fe = model.index_of_local({4, 4, 4, 1});
+  model.set_state_global(model.site_rank_of(vac), kmc::SiteState::Vacancy);
+  model.set_state_global(model.site_rank_of(cu), kmc::SiteState::Cu);
+  const double dE_cu = model.exchange_dE(vac, cu);
+  const double dE_fe = model.exchange_dE(vac, fe);
+  EXPECT_NE(dE_cu, dE_fe);
+  EXPECT_TRUE(std::isfinite(dE_cu));
+}
+
+}  // namespace
+}  // namespace mmd

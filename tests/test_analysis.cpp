@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/defects.h"
+#include "analysis/diffusion.h"
+#include "analysis/rdf.h"
+#include "md/engine.h"
+
+namespace mmd::analysis {
+namespace {
+
+constexpr double kA = 2.855;
+
+std::vector<util::Vec3> perfect_positions(const lat::BccGeometry& g) {
+  std::vector<util::Vec3> pos(static_cast<std::size_t>(g.num_sites()));
+  for (std::int64_t id = 0; id < g.num_sites(); ++id) {
+    pos[static_cast<std::size_t>(id)] = g.position(g.site_coord(id));
+  }
+  return pos;
+}
+
+TEST(Rdf, RejectsBadArgs) {
+  EXPECT_THROW(RadialDistribution(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(RadialDistribution(5.0, 0), std::invalid_argument);
+}
+
+TEST(Rdf, EmptyBeforeAccumulate) {
+  RadialDistribution rdf(5.0, 50);
+  for (const auto& b : rdf.result()) EXPECT_DOUBLE_EQ(b.g, 0.0);
+}
+
+TEST(Rdf, PerfectBccPeaksAtFirstShell) {
+  lat::BccGeometry g(6, 6, 6, kA);
+  RadialDistribution rdf(5.0, 100);
+  rdf.accumulate(perfect_positions(g), g.box_length());
+  // Highest peak at the 1NN distance sqrt(3)/2 * a = 2.47 A.
+  EXPECT_NEAR(rdf.first_peak(), std::sqrt(3.0) / 2.0 * kA, 0.06);
+  // No pairs below the first shell.
+  for (const auto& b : rdf.result()) {
+    if (b.r_hi < 2.3) EXPECT_DOUBLE_EQ(b.g, 0.0) << b.r_lo;
+  }
+}
+
+TEST(Rdf, SecondShellPresent) {
+  lat::BccGeometry g(6, 6, 6, kA);
+  RadialDistribution rdf(5.0, 200);
+  rdf.accumulate(perfect_positions(g), g.box_length());
+  bool second = false;
+  for (const auto& b : rdf.result()) {
+    if (b.r_lo <= kA && kA < b.r_hi) second = b.g > 1.0;
+  }
+  EXPECT_TRUE(second);
+}
+
+TEST(Rdf, AccumulatesFromLattice) {
+  lat::BccGeometry g(5, 5, 5, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 5, 5, 5, 2}, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  RadialDistribution rdf(5.0, 100);
+  rdf.accumulate(lnl);
+  EXPECT_NEAR(rdf.first_peak(), std::sqrt(3.0) / 2.0 * kA, 0.06);
+}
+
+TEST(Rdf, ThermalBroadening) {
+  // Displaced positions smear the delta peaks but keep the same maximum.
+  lat::BccGeometry g(6, 6, 6, kA);
+  auto pos = perfect_positions(g);
+  util::Rng rng(3);
+  for (auto& p : pos) {
+    p += util::Vec3{0.1 * rng.normal(), 0.1 * rng.normal(), 0.1 * rng.normal()};
+  }
+  RadialDistribution rdf(5.0, 100);
+  rdf.accumulate(pos, g.box_length());
+  EXPECT_NEAR(rdf.first_peak(), std::sqrt(3.0) / 2.0 * kA, 0.15);
+}
+
+TEST(VacancyTracker, NoMotionNoMsd) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  VacancyTracker tr(g);
+  std::vector<std::int64_t> v{g.site_id({2, 2, 2, 0}), g.site_id({5, 5, 5, 1})};
+  tr.record(0.0, v);
+  tr.record(1.0, v);
+  EXPECT_EQ(tr.tracked(), 2u);
+  EXPECT_DOUBLE_EQ(tr.msd(), 0.0);
+  EXPECT_EQ(tr.hops(), 0u);
+  EXPECT_DOUBLE_EQ(tr.diffusion_coefficient(), 0.0);
+}
+
+TEST(VacancyTracker, SingleHopMsd) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  VacancyTracker tr(g);
+  tr.record(0.0, {g.site_id({2, 2, 2, 0})});
+  tr.record(0.5, {g.site_id({2, 2, 2, 1})});  // one 1NN hop
+  const double d1 = std::sqrt(3.0) / 2.0 * kA;
+  EXPECT_EQ(tr.hops(), 1u);
+  EXPECT_NEAR(tr.msd(), d1 * d1, 1e-9);
+  EXPECT_NEAR(tr.diffusion_coefficient(), d1 * d1 / (6.0 * 0.5), 1e-9);
+}
+
+TEST(VacancyTracker, UnwrapsAcrossBoundary) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  VacancyTracker tr(g);
+  // Hop from the body center of the last cell across the periodic x face.
+  tr.record(0.0, {g.site_id({7, 4, 4, 1})});
+  tr.record(1.0, {g.site_id({0, 5, 5, 0})});  // wraps in x
+  EXPECT_EQ(tr.hops(), 1u);
+  const double d1 = std::sqrt(3.0) / 2.0 * kA;
+  EXPECT_NEAR(std::sqrt(tr.msd()), d1, 1e-9);
+}
+
+TEST(VacancyTracker, MultiStepAccumulates) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  VacancyTracker tr(g);
+  tr.record(0.0, {g.site_id({2, 2, 2, 0})});
+  tr.record(1.0, {g.site_id({2, 2, 2, 1})});
+  tr.record(2.0, {g.site_id({3, 3, 3, 0})});
+  EXPECT_EQ(tr.hops(), 2u);
+  // Displacement: (0.5, 0.5, 0.5)a + (0.5, 0.5, 0.5)a = (1,1,1)a.
+  EXPECT_NEAR(std::sqrt(tr.msd()), std::sqrt(3.0) * kA, 1e-9);
+}
+
+TEST(VacancyTracker, RandomWalkTheory) {
+  const double d = VacancyTracker::random_walk_d(1e7, kA);
+  const double d1 = std::sqrt(3.0) / 2.0 * kA;
+  EXPECT_NEAR(d, 1e7 * d1 * d1 / 6.0, 1e-6);
+}
+
+TEST(Defects, EmptyLatticeNoPairs) {
+  lat::BccGeometry g(5, 5, 5, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 5, 5, 5, 2}, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  const auto a = analyze_defects(lnl);
+  EXPECT_TRUE(a.pairs.empty());
+  EXPECT_EQ(a.unmatched_vacancies, 0u);
+}
+
+TEST(Defects, SingleFrenkelPairMatched) {
+  lat::BccGeometry g(6, 6, 6, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 6, 6, 6, 2}, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  const std::size_t idx = lnl.box().entry_index({3, 3, 3, 0});
+  lnl.entry(idx).r += util::Vec3{2.0, 0.0, 0.0};
+  lnl.detach(idx);
+  const auto a = analyze_defects(lnl);
+  ASSERT_EQ(a.pairs.size(), 1u);
+  EXPECT_NEAR(a.pairs[0].separation, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(a.fraction_within(2.5), 1.0);
+  EXPECT_DOUBLE_EQ(a.fraction_within(1.0), 0.0);
+}
+
+TEST(Defects, GlobalGatherMatchesCascade) {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.temperature = 100.0;
+  cfg.table_segments = 500;
+  const md::MdSetup setup(cfg, 2);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  comm::World world(2);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+    engine.initialize(comm);
+    engine.inject_pka(comm, setup.geo.site_id({4, 4, 4, 0}), {1, 0.6, 0.3}, 60.0);
+    engine.run_for(comm, 0.04);
+    const auto d = engine.defects(comm);
+    const auto a = analyze_defects_global(comm, engine.lattice());
+    if (comm.rank() == 0) {
+      EXPECT_EQ(a.pairs.size() + a.unmatched_vacancies, d.vacancies);
+      for (const auto& p : a.pairs) EXPECT_GT(p.separation, 0.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mmd::analysis

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kmc/clusters.h"
+
+namespace mmd::kmc {
+namespace {
+
+constexpr double kA = 2.855;
+
+TEST(Clusters, EmptyInput) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  const auto s = cluster_vacancies(g, {});
+  EXPECT_EQ(s.num_vacancies, 0u);
+  EXPECT_EQ(s.num_clusters, 0u);
+}
+
+TEST(Clusters, SingleVacancy) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  const std::vector<std::int64_t> v{g.site_id({4, 4, 4, 0})};
+  const auto s = cluster_vacancies(g, v);
+  EXPECT_EQ(s.num_vacancies, 1u);
+  EXPECT_EQ(s.num_clusters, 1u);
+  EXPECT_EQ(s.max_size, 1u);
+  EXPECT_DOUBLE_EQ(s.clustered_fraction, 0.0);
+}
+
+TEST(Clusters, TwoAdjacentVacanciesFormOneCluster) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  // Corner site and body center of the same cell are 1NN.
+  const std::vector<std::int64_t> v{g.site_id({4, 4, 4, 0}),
+                                    g.site_id({4, 4, 4, 1})};
+  const auto s = cluster_vacancies(g, v);
+  EXPECT_EQ(s.num_clusters, 1u);
+  EXPECT_EQ(s.max_size, 2u);
+  EXPECT_DOUBLE_EQ(s.clustered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_size, 2.0);
+}
+
+TEST(Clusters, SecondNeighborsAreSeparateClusters) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  // Two corner sites one lattice constant apart: 2NN, not clustered.
+  const std::vector<std::int64_t> v{g.site_id({4, 4, 4, 0}),
+                                    g.site_id({5, 4, 4, 0})};
+  const auto s = cluster_vacancies(g, v);
+  EXPECT_EQ(s.num_clusters, 2u);
+  EXPECT_EQ(s.max_size, 1u);
+}
+
+TEST(Clusters, ChainMergesTransitively) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  // corner(4,4,4) - center(4,4,4) - corner(5,5,5): a 3-chain through 1NN.
+  const std::vector<std::int64_t> v{g.site_id({4, 4, 4, 0}),
+                                    g.site_id({4, 4, 4, 1}),
+                                    g.site_id({5, 5, 5, 0})};
+  const auto s = cluster_vacancies(g, v);
+  EXPECT_EQ(s.num_clusters, 1u);
+  EXPECT_EQ(s.max_size, 3u);
+}
+
+TEST(Clusters, PeriodicWrapCounts) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  // center(7,7,7) and corner(0,0,0) are 1NN across the periodic boundary.
+  const std::vector<std::int64_t> v{g.site_id({7, 7, 7, 1}),
+                                    g.site_id({0, 0, 0, 0})};
+  const auto s = cluster_vacancies(g, v);
+  EXPECT_EQ(s.num_clusters, 1u);
+}
+
+TEST(Clusters, HistogramIsConsistent) {
+  lat::BccGeometry g(10, 10, 10, kA);
+  std::vector<std::int64_t> v;
+  // One 2-cluster and three singletons.
+  v.push_back(g.site_id({1, 1, 1, 0}));
+  v.push_back(g.site_id({1, 1, 1, 1}));
+  v.push_back(g.site_id({5, 5, 5, 0}));
+  v.push_back(g.site_id({7, 2, 3, 0}));
+  v.push_back(g.site_id({2, 7, 6, 1}));
+  const auto s = cluster_vacancies(g, v);
+  EXPECT_EQ(s.num_clusters, 4u);
+  EXPECT_EQ(s.size_histogram.total(), 4u);
+  EXPECT_EQ(s.size_histogram.weighted_total(), 5);
+  EXPECT_EQ(s.size_histogram.bins().at(1), 3u);
+  EXPECT_EQ(s.size_histogram.bins().at(2), 1u);
+  EXPECT_NEAR(s.clustered_fraction, 2.0 / 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmd::kmc

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "comm/world.h"
+
+namespace mmd::comm {
+namespace {
+
+TEST(World, RejectsZeroRanks) {
+  EXPECT_THROW(World w(0), std::invalid_argument);
+}
+
+TEST(World, SingleRankRuns) {
+  World w(1);
+  int ran = 0;
+  w.run([&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ran = 1;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(World, RankExceptionPropagates) {
+  // A rank failure is rethrown on the caller after join. (Like MPI, other
+  // ranks must not enter collectives the failed rank would have joined.)
+  World w(2);
+  EXPECT_THROW(w.run([](Comm& c) {
+    c.barrier();
+    if (c.rank() == 1) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, SendRecvTyped) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> xs{1.0, 2.0, 3.0};
+      c.send(1, 7, std::span<const double>(xs));
+    } else {
+      auto xs = c.recv_vector<double>(0, 7);
+      ASSERT_EQ(xs.size(), 3u);
+      EXPECT_DOUBLE_EQ(xs[2], 3.0);
+    }
+  });
+}
+
+TEST(Comm, SelfSendWorks) {
+  World w(1);
+  w.run([](Comm& c) {
+    c.send_value(0, 1, 42);
+    auto v = c.recv_vector<int>(0, 1);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 42);
+  });
+}
+
+TEST(Comm, TagAndSourceMatching) {
+  World w(3);
+  w.run([](Comm& c) {
+    if (c.rank() != 2) {
+      c.send_value(2, 10 + c.rank(), c.rank());
+    } else {
+      // Receive in reverse order of arrival possibility: tag selects.
+      auto one = c.recv_vector<int>(kAnySource, 11);
+      auto zero = c.recv_vector<int>(kAnySource, 10);
+      EXPECT_EQ(one[0], 1);
+      EXPECT_EQ(zero[0], 0);
+    }
+  });
+}
+
+TEST(Comm, ProbeReportsSizeWithoutConsuming) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::int64_t> xs(5, 9);
+      c.send(1, 3, std::span<const std::int64_t>(xs));
+    } else {
+      const ProbeInfo info = c.probe(kAnySource, 3);
+      EXPECT_EQ(info.src, 0);
+      EXPECT_EQ(info.bytes, 5 * sizeof(std::int64_t));
+      auto xs = c.recv_vector<std::int64_t>(info.src, info.tag);
+      EXPECT_EQ(xs.size(), 5u);
+    }
+  });
+}
+
+TEST(Comm, IprobeNonBlocking) {
+  World w(1);
+  w.run([](Comm& c) {
+    EXPECT_FALSE(c.iprobe().has_value());
+    c.send_value(0, 1, 1);
+    EXPECT_TRUE(c.iprobe(0, 1).has_value());
+  });
+}
+
+TEST(Comm, ZeroSizeMessage) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 5, std::span<const int>{});
+    } else {
+      const ProbeInfo info = c.probe(0, 5);
+      EXPECT_EQ(info.bytes, 0u);
+      auto v = c.recv_vector<int>(0, 5);
+      EXPECT_TRUE(v.empty());
+    }
+  });
+}
+
+class CommCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollectives, AllreduceSum) {
+  const int n = GetParam();
+  World w(n);
+  w.run([&](Comm& c) {
+    const double s = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    EXPECT_DOUBLE_EQ(s, n * (n + 1) / 2.0);
+  });
+}
+
+TEST_P(CommCollectives, AllreduceMax) {
+  const int n = GetParam();
+  World w(n);
+  w.run([&](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank())), n - 1.0);
+    EXPECT_EQ(c.allreduce_max_u64(static_cast<std::uint64_t>(c.rank()) * 3),
+              static_cast<std::uint64_t>(n - 1) * 3);
+  });
+}
+
+TEST_P(CommCollectives, RepeatedCollectivesDoNotInterleave) {
+  const int n = GetParam();
+  World w(n);
+  w.run([&](Comm& c) {
+    for (int i = 0; i < 50; ++i) {
+      const auto s = c.allreduce_sum_u64(static_cast<std::uint64_t>(i));
+      ASSERT_EQ(s, static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n));
+    }
+  });
+}
+
+TEST_P(CommCollectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  World w(n);
+  std::atomic<int> before{0};
+  std::atomic<bool> ok{true};
+  w.run([&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    if (before.load() != n) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommCollectives,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Comm, WindowPutAndDrain) {
+  World w(3);
+  w.run([](Comm& c) {
+    auto win = c.create_window();
+    // Everyone deposits one record into rank (r+1)%3.
+    const int target = (c.rank() + 1) % 3;
+    const std::int64_t payload = 100 + c.rank();
+    c.put(*win, target, std::span<const std::int64_t>(&payload, 1));
+    c.barrier();
+    auto got = c.drain<std::int64_t>(*win);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 100 + (c.rank() + 2) % 3);
+  });
+}
+
+TEST(Comm, WindowEmptyDrain) {
+  World w(2);
+  w.run([](Comm& c) {
+    auto win = c.create_window();
+    c.barrier();
+    EXPECT_TRUE(c.drain<int>(*win).empty());
+  });
+}
+
+TEST(World, TrafficCounters) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<char> payload(100);
+      c.send(1, 1, std::span<const char>(payload));
+    } else {
+      c.recv(0, 1);
+    }
+    c.barrier();
+  });
+  const RankTraffic total = w.total_traffic();
+  EXPECT_EQ(total.p2p_msgs_sent, 1u);
+  EXPECT_EQ(total.p2p_bytes_sent, 100u);
+  EXPECT_EQ(w.traffic(0).p2p_bytes_sent, 100u);
+  EXPECT_EQ(w.traffic(1).p2p_bytes_sent, 0u);
+  EXPECT_EQ(total.collectives, 2u);
+  w.reset_traffic();
+  EXPECT_EQ(w.total_traffic().total_bytes(), 0u);
+}
+
+TEST(World, WindowTrafficCounted) {
+  World w(2);
+  w.run([](Comm& c) {
+    auto win = c.create_window();
+    if (c.rank() == 0) {
+      const double x = 1.0;
+      c.put(*win, 1, std::span<const double>(&x, 1));
+    }
+    c.barrier();
+    c.drain<double>(*win);
+  });
+  EXPECT_EQ(w.total_traffic().onesided_puts, 1u);
+  EXPECT_EQ(w.total_traffic().onesided_bytes, sizeof(double));
+}
+
+class CommGather : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommGather, GatherConcatenatesInRankOrder) {
+  const int n = GetParam();
+  World w(n);
+  w.run([&](Comm& c) {
+    // Rank r contributes r+1 copies of its rank id.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank() + 1), c.rank());
+    auto all = c.gather_to<int>(0, mine);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n * (n + 1) / 2));
+      std::size_t pos = 0;
+      for (int r = 0; r < n; ++r) {
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(all[pos++], r);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CommGather, BroadcastDeliversRootData) {
+  const int n = GetParam();
+  World w(n);
+  w.run([&](Comm& c) {
+    std::vector<double> mine;
+    if (c.rank() == 1 % n) mine = {1.5, 2.5, 3.5};
+    auto got = c.broadcast_from<double>(1 % n, mine);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_DOUBLE_EQ(got[2], 3.5);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommGather, ::testing::Values(1, 2, 5));
+
+TEST(Pack, RoundTrip) {
+  struct Rec {
+    int a;
+    double b;
+  };
+  std::vector<Rec> in{{1, 2.0}, {3, 4.0}};
+  auto bytes = pack<Rec>(in);
+  auto out = unpack<Rec>(bytes);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].a, 3);
+  EXPECT_DOUBLE_EQ(out[1].b, 4.0);
+}
+
+}  // namespace
+}  // namespace mmd::comm

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+
+namespace mmd::core {
+namespace {
+
+SimulationConfig tiny_config() {
+  SimulationConfig cfg;
+  cfg.md.nx = cfg.md.ny = cfg.md.nz = 8;
+  cfg.md.temperature = 300.0;
+  cfg.md.table_segments = 800;
+  cfg.kmc_table_segments = 400;
+  cfg.md_time_ps = 0.05;
+  cfg.pka_count = 2;
+  cfg.pka_energy_ev = 70.0;
+  cfg.kmc_cycles = 10;
+  cfg.nranks = 1;
+  return cfg;
+}
+
+TEST(Simulation, EndToEndProducesDefectsAndEvolvesThem) {
+  Simulation sim(tiny_config());
+  const SimulationReport r = sim.run();
+  // The cascade created Frenkel pairs...
+  EXPECT_GT(r.md_defects.vacancies, 0u);
+  EXPECT_GT(r.md_defects.interstitials, 0u);
+  // ...handed to KMC unchanged...
+  EXPECT_EQ(r.clusters_after_md.num_vacancies, r.md_defects.vacancies);
+  EXPECT_EQ(r.clusters_after_kmc.num_vacancies, r.md_defects.vacancies);
+  // ...which evolved them in MC time.
+  EXPECT_GT(r.kmc_mc_time, 0.0);
+  EXPECT_GT(r.vacancy_concentration, 0.0);
+  EXPECT_GT(r.real_time_days, 0.0);
+  EXPECT_GT(r.md_seconds, 0.0);
+  EXPECT_GT(r.kmc_seconds, 0.0);
+}
+
+TEST(Simulation, DeterministicWithSeed) {
+  SimulationConfig cfg = tiny_config();
+  cfg.md_time_ps = 0.03;
+  cfg.kmc_cycles = 4;
+  Simulation a(cfg), b(cfg);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.md_defects.vacancies, rb.md_defects.vacancies);
+  EXPECT_EQ(ra.md_defects.interstitials, rb.md_defects.interstitials);
+  EXPECT_EQ(ra.kmc_events, rb.kmc_events);
+  EXPECT_EQ(ra.clusters_after_kmc.num_clusters, rb.clusters_after_kmc.num_clusters);
+}
+
+TEST(Simulation, ParallelMatchesSerialDefectCounts) {
+  SimulationConfig cfg = tiny_config();
+  cfg.md_time_ps = 0.03;
+  cfg.kmc_cycles = 4;
+  Simulation serial(cfg);
+  const auto rs = serial.run();
+  cfg.nranks = 4;
+  Simulation parallel(cfg);
+  const auto rp = parallel.run();
+  EXPECT_EQ(rs.md_defects.vacancies, rp.md_defects.vacancies);
+  EXPECT_EQ(rs.md_defects.interstitials, rp.md_defects.interstitials);
+}
+
+TEST(Simulation, ReportToStringMentionsKeyNumbers) {
+  SimulationConfig cfg = tiny_config();
+  cfg.md_time_ps = 0.02;
+  cfg.kmc_cycles = 2;
+  Simulation sim(cfg);
+  const auto r = sim.run();
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("MD stage"), std::string::npos);
+  EXPECT_NE(s.find("KMC stage"), std::string::npos);
+  EXPECT_NE(s.find("Temporal scale"), std::string::npos);
+}
+
+TEST(Simulation, AlloyPipelineCarriesSolutes) {
+  SimulationConfig cfg = tiny_config();
+  cfg.md_time_ps = 0.02;
+  cfg.kmc_cycles = 3;
+  cfg.solute_fraction = 0.08;
+  cfg.nranks = 2;
+  Simulation sim(cfg);
+  const auto r = sim.run();
+  // The alloy pipeline still produces and evolves damage.
+  EXPECT_GT(r.md_defects.vacancies, 0u);
+  EXPECT_EQ(r.clusters_after_kmc.num_vacancies, r.md_defects.vacancies);
+  EXPECT_GT(r.kmc_mc_time, 0.0);
+}
+
+TEST(Simulation, AlloyDeterministic) {
+  SimulationConfig cfg = tiny_config();
+  cfg.md_time_ps = 0.02;
+  cfg.kmc_cycles = 3;
+  cfg.solute_fraction = 0.05;
+  const auto a = Simulation(cfg).run();
+  const auto b = Simulation(cfg).run();
+  EXPECT_EQ(a.kmc_events, b.kmc_events);
+  EXPECT_EQ(a.final_vacancies, b.final_vacancies);
+}
+
+TEST(Simulation, KmcStrategyDoesNotChangeOutcome) {
+  SimulationConfig cfg = tiny_config();
+  // Traditional KMC put-back needs subdomains of at least 5 cells per axis.
+  cfg.md.nx = cfg.md.ny = cfg.md.nz = 10;
+  cfg.md_time_ps = 0.03;
+  cfg.kmc_cycles = 4;
+  cfg.nranks = 2;
+  cfg.kmc_strategy = kmc::GhostStrategy::Traditional;
+  const auto rt = Simulation(cfg).run();
+  cfg.kmc_strategy = kmc::GhostStrategy::OnDemandOneSided;
+  const auto ro = Simulation(cfg).run();
+  EXPECT_EQ(rt.kmc_events, ro.kmc_events);
+  EXPECT_EQ(rt.clusters_after_kmc.num_clusters, ro.clusters_after_kmc.num_clusters);
+  EXPECT_EQ(rt.clusters_after_kmc.max_size, ro.clusters_after_kmc.max_size);
+}
+
+}  // namespace
+}  // namespace mmd::core

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "potential/eam.h"
+
+namespace mmd::pot {
+namespace {
+
+constexpr double kA = 2.855;
+constexpr double kCut = 5.0;
+
+TEST(EamModel, IronBasicProperties) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  EXPECT_EQ(fe.num_species(), 1);
+  EXPECT_DOUBLE_EQ(fe.cutoff(), kCut);
+  // Pair potential has its minimum near the 1NN distance.
+  const double r0 = fe.species(0).r0;
+  EXPECT_NEAR(fe.dphi(0, 0, r0), 0.0, 1e-9);
+  EXPECT_LT(fe.phi(0, 0, r0), 0.0);
+  // Repulsive wall at short range.
+  EXPECT_GT(fe.phi(0, 0, 1.5), 0.0);
+  EXPECT_LT(fe.dphi(0, 0, 1.5), 0.0);
+}
+
+TEST(EamModel, SmoothCutoff) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  EXPECT_DOUBLE_EQ(fe.phi(0, 0, kCut), 0.0);
+  EXPECT_DOUBLE_EQ(fe.f(0, 0, kCut), 0.0);
+  EXPECT_DOUBLE_EQ(fe.dphi(0, 0, kCut), 0.0);
+  EXPECT_NEAR(fe.phi(0, 0, kCut - 1e-6), 0.0, 1e-9);
+}
+
+TEST(EamModel, PairDerivativeMatchesFiniteDifference) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  const double eps = 1e-7;
+  for (double r = 1.5; r < 4.9; r += 0.2) {
+    const double fd = (fe.phi(0, 0, r + eps) - fe.phi(0, 0, r - eps)) / (2 * eps);
+    ASSERT_NEAR(fe.dphi(0, 0, r), fd, 1e-5) << r;
+    const double fdf = (fe.f(0, 0, r + eps) - fe.f(0, 0, r - eps)) / (2 * eps);
+    ASSERT_NEAR(fe.df(0, 0, r), fdf, 1e-5) << r;
+  }
+}
+
+TEST(EamModel, EmbeddingDerivative) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  const double rho_e = fe.species(0).rho_e;
+  const double eps = 1e-7;
+  for (double rho = 0.1 * rho_e; rho < 1.8 * rho_e; rho += 0.1 * rho_e) {
+    const double fd =
+        (fe.embed(0, rho + eps) - fe.embed(0, rho - eps)) / (2 * eps);
+    ASSERT_NEAR(fe.dembed(0, rho), fd, 1e-5) << rho;
+  }
+  // Finite at rho -> 0 (quadratic extension).
+  EXPECT_TRUE(std::isfinite(fe.dembed(0, 0.0)));
+  EXPECT_TRUE(std::isfinite(fe.embed(0, 0.0)));
+  EXPECT_NEAR(fe.embed(0, 0.0), 0.0, 1e-12);
+}
+
+TEST(EamModel, EmbeddingContinuousAtSplice) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  const double rho_min = 1e-3 * fe.species(0).rho_e;
+  EXPECT_NEAR(fe.embed(0, rho_min * (1 - 1e-9)), fe.embed(0, rho_min * (1 + 1e-9)),
+              1e-9);
+  EXPECT_NEAR(fe.dembed(0, rho_min * (1 - 1e-9)),
+              fe.dembed(0, rho_min * (1 + 1e-9)), 1e-6);
+}
+
+TEST(EamModel, CalibratedPerfectRho) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  // rho_e is calibrated to the perfect-BCC host density.
+  EXPECT_NEAR(fe.species(0).rho_e, fe.perfect_rho(0, kA), 1e-12);
+  EXPECT_GT(fe.species(0).rho_e, 1.0);
+  // Perfect-lattice embedding is exactly -E_emb.
+  EXPECT_NEAR(fe.embed(0, fe.perfect_rho(0, kA)), -fe.species(0).emb_E, 1e-12);
+}
+
+TEST(EamModel, IronCopperAlloyIsSymmetric) {
+  const EamModel alloy = EamModel::iron_copper(kA, kCut);
+  EXPECT_EQ(alloy.num_species(), 2);
+  for (double r = 2.0; r < 4.5; r += 0.31) {
+    EXPECT_DOUBLE_EQ(alloy.phi(0, 1, r), alloy.phi(1, 0, r));
+    EXPECT_DOUBLE_EQ(alloy.f(0, 1, r), alloy.f(1, 0, r));
+  }
+  // Cross interaction differs from both pures.
+  EXPECT_NE(alloy.phi(0, 1, 2.5), alloy.phi(0, 0, 2.5));
+  EXPECT_NE(alloy.phi(0, 1, 2.5), alloy.phi(1, 1, 2.5));
+}
+
+TEST(EamTableSet, IronHasThreeTables) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  const EamTableSet t = EamTableSet::build(fe, 5000);
+  EXPECT_EQ(t.num_species, 1);
+  EXPECT_EQ(t.pairs.size(), 1u);
+  EXPECT_EQ(t.embed.size(), 1u);
+  // Table sizes match the paper: each compact table ~39 KB, traditional 273 KB.
+  EXPECT_LT(t.phi(0, 0).bytes(), 40u * 1024u);
+  EXPECT_GT(t.phi_trad.bytes(), 64u * 1024u);
+}
+
+TEST(EamTableSet, TablesMatchAnalyticModel) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  const EamTableSet t = EamTableSet::build(fe, 5000);
+  for (double r = 1.2; r < 5.0; r += 0.0531) {
+    ASSERT_NEAR(t.phi(0, 0).value(r), fe.phi(0, 0, r), 1e-8) << r;
+    ASSERT_NEAR(t.f(0, 0).value(r), fe.f(0, 0, r), 1e-8) << r;
+    ASSERT_NEAR(t.phi(0, 0).derivative(r), fe.dphi(0, 0, r), 1e-6) << r;
+  }
+  const double rho_e = fe.species(0).rho_e;
+  for (double rho = 0.05 * rho_e; rho < 1.9 * rho_e; rho += 0.07 * rho_e) {
+    ASSERT_NEAR(t.embed_of(0).value(rho), fe.embed(0, rho), 1e-8) << rho;
+  }
+}
+
+TEST(EamTableSet, AlloyHasEightTables) {
+  // Paper §2.1.2: Fe-Cu needs pair+density for Fe-Fe, Cu-Cu, Fe-Cu plus two
+  // embedding tables; their combined compact size exceeds the 64 KB store.
+  const EamModel alloy = EamModel::iron_copper(kA, kCut);
+  const EamTableSet t = EamTableSet::build(alloy, 5000);
+  EXPECT_EQ(t.pairs.size(), 3u);
+  EXPECT_EQ(t.embed.size(), 2u);
+  EXPECT_GT(t.compact_bytes(), 64u * 1024u);
+  EXPECT_EQ(t.pair_index(0, 1), t.pair_index(1, 0));
+}
+
+TEST(EamTableSet, TraditionalFormsAgreeWithCompact) {
+  const EamModel fe = EamModel::iron(kA, kCut);
+  const EamTableSet t = EamTableSet::build(fe, 2000);
+  for (double r = 1.1; r < 5.0; r += 0.077) {
+    ASSERT_NEAR(t.phi_trad.value(r), t.phi(0, 0).value(r), 1e-12);
+    ASSERT_NEAR(t.f_trad.derivative(r), t.f(0, 0).derivative(r), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace mmd::pot

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lattice/decomposition.h"
+#include "lattice/geometry.h"
+#include "lattice/local_box.h"
+#include "lattice/neighbor_offsets.h"
+
+namespace mmd::lat {
+namespace {
+
+constexpr double kA = 2.855;
+
+TEST(BccGeometry, SiteCount) {
+  BccGeometry g(4, 5, 6, kA);
+  EXPECT_EQ(g.num_sites(), 2ll * 4 * 5 * 6);
+}
+
+TEST(BccGeometry, RejectsInvalid) {
+  EXPECT_THROW(BccGeometry(0, 1, 1, kA), std::invalid_argument);
+  EXPECT_THROW(BccGeometry(1, 1, 1, -1.0), std::invalid_argument);
+}
+
+class GeometryRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GeometryRoundTrip, IdCoordRoundTrip) {
+  const auto [nx, ny, nz] = GetParam();
+  BccGeometry g(nx, ny, nz, kA);
+  for (std::int64_t id = 0; id < g.num_sites(); ++id) {
+    const SiteCoord c = g.site_coord(id);
+    EXPECT_TRUE(g.in_box(c));
+    EXPECT_EQ(g.site_id(c), id);
+  }
+}
+
+TEST_P(GeometryRoundTrip, RankOrderIsSpatial) {
+  // Ranking follows z-major, then y, then x, with sub interleaved — the
+  // paper's "order of their spatial distribution".
+  const auto [nx, ny, nz] = GetParam();
+  BccGeometry g(nx, ny, nz, kA);
+  EXPECT_EQ(g.site_id({0, 0, 0, 0}), 0);
+  EXPECT_EQ(g.site_id({0, 0, 0, 1}), 1);
+  if (nx > 1) EXPECT_EQ(g.site_id({1, 0, 0, 0}), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boxes, GeometryRoundTrip,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{2, 3, 4},
+                                           std::tuple{5, 5, 5},
+                                           std::tuple{8, 2, 3}));
+
+TEST(BccGeometry, PositionOfSublattices) {
+  BccGeometry g(2, 2, 2, 2.0);
+  EXPECT_EQ(g.position({1, 0, 1, 0}), util::Vec3(2.0, 0.0, 2.0));
+  EXPECT_EQ(g.position({0, 0, 0, 1}), util::Vec3(1.0, 1.0, 1.0));
+}
+
+TEST(BccGeometry, WrapPeriodic) {
+  BccGeometry g(3, 3, 3, kA);
+  EXPECT_EQ(g.wrap({-1, 3, 7, 0}), (SiteCoord{2, 0, 1, 0}));
+  EXPECT_EQ(g.wrap({0, 0, 0, 1}), (SiteCoord{0, 0, 0, 1}));
+}
+
+TEST(BccGeometry, NearestSiteExactOnLattice) {
+  BccGeometry g(4, 4, 4, kA);
+  for (std::int64_t id = 0; id < g.num_sites(); id += 7) {
+    const SiteCoord c = g.site_coord(id);
+    EXPECT_EQ(g.nearest_site(g.position(c)), c);
+  }
+}
+
+TEST(BccGeometry, NearestSitePerturbed) {
+  BccGeometry g(4, 4, 4, kA);
+  const SiteCoord c{1, 2, 3, 1};
+  const util::Vec3 p = g.position(c) + util::Vec3{0.3, -0.2, 0.25};
+  EXPECT_EQ(g.nearest_site(p), c);
+}
+
+TEST(BccGeometry, MinImage) {
+  BccGeometry g(4, 4, 4, 1.0);
+  const util::Vec3 d = g.min_image({0.1, 0, 0}, {3.9, 0, 0});
+  EXPECT_NEAR(d.x, -0.2, 1e-12);
+}
+
+TEST(NeighborOffsets, FirstShellIs8At1NN) {
+  for (int sub = 0; sub <= 1; ++sub) {
+    const auto offs = bcc_neighbor_offsets(kA, 0.9 * kA, sub);
+    ASSERT_EQ(offs.size(), 8u) << "sub=" << sub;
+    const double d1 = std::sqrt(3.0) / 2.0 * kA;
+    for (const auto& o : offs) {
+      EXPECT_NEAR(std::sqrt(o.dist2), d1, 1e-12);
+      EXPECT_EQ(o.to_sub, 1 - sub);  // 1NN connects the sublattices
+    }
+  }
+}
+
+TEST(NeighborOffsets, SecondShellIs6AtA) {
+  const auto offs = bcc_neighbor_offsets(kA, 1.05 * kA, 0);
+  ASSERT_EQ(offs.size(), 14u);  // 8 + 6
+  for (std::size_t i = 8; i < 14; ++i) {
+    EXPECT_NEAR(std::sqrt(offs[i].dist2), kA, 1e-12);
+    EXPECT_EQ(offs[i].to_sub, 0);
+  }
+}
+
+TEST(NeighborOffsets, CountsMatchKnownShells) {
+  // Within 5.0 A at a=2.855: shells 8 (2.472) + 6 (2.855) + 12 (4.038) +
+  // 24 (4.734) + 8 (4.945) = 58 neighbors.
+  const auto offs = bcc_neighbor_offsets(kA, 5.0, 0);
+  EXPECT_EQ(offs.size(), 58u);
+}
+
+TEST(NeighborOffsets, SymmetricUnderNegation) {
+  for (int sub = 0; sub <= 1; ++sub) {
+    const auto offs = bcc_neighbor_offsets(kA, 5.0, sub);
+    std::set<std::tuple<int, int, int, int>> set;
+    for (const auto& o : offs) set.insert({o.dx, o.dy, o.dz, o.to_sub});
+    for (const auto& o : offs) {
+      if (o.to_sub == sub) {
+        // Same-sublattice offsets come in +/- pairs.
+        EXPECT_TRUE(set.count({-o.dx, -o.dy, -o.dz, o.to_sub}));
+      }
+    }
+  }
+}
+
+TEST(NeighborOffsets, SortedByDistance) {
+  const auto offs = bcc_neighbor_offsets(kA, 6.0, 1);
+  for (std::size_t i = 1; i < offs.size(); ++i) {
+    EXPECT_LE(offs[i - 1].dist2, offs[i].dist2);
+  }
+}
+
+TEST(NeighborOffsets, HaloForMdCutoff) {
+  EXPECT_EQ(required_halo_cells(kA, 5.0), 2);
+  EXPECT_EQ(required_halo_cells(kA, 5.6), 2);
+  EXPECT_EQ(required_halo_cells(kA, 0.9 * kA), 1);
+}
+
+TEST(LocalBox, IndexRoundTrip) {
+  LocalBox b{0, 0, 0, 4, 3, 2, 2};
+  for (std::size_t i = 0; i < b.num_entries(); ++i) {
+    const LocalCoord c = b.coord_of(i);
+    EXPECT_TRUE(b.in_storage(c));
+    EXPECT_EQ(b.entry_index(c), i);
+  }
+  EXPECT_EQ(b.num_owned_sites(), 2u * 4 * 3 * 2);
+}
+
+TEST(LocalBox, FlatDeltaConsistent) {
+  LocalBox b{0, 0, 0, 5, 5, 5, 2};
+  const LocalCoord c{2, 2, 2, 0};
+  const std::size_t i = b.entry_index(c);
+  const std::int64_t d = b.flat_delta(1, -1, 2, 1);
+  EXPECT_EQ(static_cast<std::size_t>(static_cast<std::int64_t>(i) + d),
+            b.entry_index({3, 1, 4, 1}));
+}
+
+TEST(LocalBox, Ownership) {
+  LocalBox b{0, 0, 0, 3, 3, 3, 1};
+  EXPECT_TRUE(b.owns({0, 0, 0, 0}));
+  EXPECT_TRUE(b.owns({2, 2, 2, 1}));
+  EXPECT_FALSE(b.owns({-1, 0, 0, 0}));
+  EXPECT_FALSE(b.owns({0, 3, 0, 0}));
+  EXPECT_TRUE(b.in_storage({-1, 3, 0, 0}));
+  EXPECT_FALSE(b.in_storage({-2, 0, 0, 0}));
+}
+
+class DecompositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompositionTest, PartitionCoversBoxExactly) {
+  const int nranks = GetParam();
+  BccGeometry g(12, 12, 12, kA);
+  DomainDecomposition dd(g, nranks, 2);
+  std::vector<int> owner(static_cast<std::size_t>(12 * 12 * 12), -1);
+  for (int r = 0; r < nranks; ++r) {
+    const LocalBox b = dd.local_box(r);
+    EXPECT_GE(b.lx, b.halo);
+    EXPECT_GE(b.ly, b.halo);
+    EXPECT_GE(b.lz, b.halo);
+    for (int z = 0; z < b.lz; ++z) {
+      for (int y = 0; y < b.ly; ++y) {
+        for (int x = 0; x < b.lx; ++x) {
+          auto& o = owner[static_cast<std::size_t>(
+              ((b.oz + z) * 12 + b.oy + y) * 12 + b.ox + x)];
+          EXPECT_EQ(o, -1);  // no overlap
+          o = r;
+        }
+      }
+    }
+  }
+  for (int v : owner) EXPECT_NE(v, -1);  // full cover
+}
+
+TEST_P(DecompositionTest, RankOfCellMatchesBoxes) {
+  const int nranks = GetParam();
+  BccGeometry g(12, 12, 12, kA);
+  DomainDecomposition dd(g, nranks, 2);
+  for (int r = 0; r < nranks; ++r) {
+    const LocalBox b = dd.local_box(r);
+    EXPECT_EQ(dd.rank_of_cell(b.ox, b.oy, b.oz), r);
+    EXPECT_EQ(dd.rank_of_cell(b.ox + b.lx - 1, b.oy + b.ly - 1, b.oz + b.lz - 1), r);
+  }
+}
+
+TEST_P(DecompositionTest, NeighborsAreMutual) {
+  const int nranks = GetParam();
+  BccGeometry g(12, 12, 12, kA);
+  DomainDecomposition dd(g, nranks, 2);
+  for (int r = 0; r < nranks; ++r) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const int p = dd.neighbor(r, axis, +1);
+      EXPECT_EQ(dd.neighbor(p, axis, -1), r);
+    }
+    for (int q : dd.neighbor_ranks(r)) {
+      const auto qs = dd.neighbor_ranks(q);
+      EXPECT_TRUE(std::find(qs.begin(), qs.end(), r) != qs.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DecompositionTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 27));
+
+TEST(Decomposition, ThrowsWhenHaloDoesNotFit) {
+  BccGeometry g(4, 4, 4, kA);
+  // 27 ranks would give sub-halo subdomains of 1 cell < halo 2.
+  EXPECT_THROW(DomainDecomposition(g, 27, 2), std::invalid_argument);
+}
+
+TEST(Decomposition, PrefersCubicGrids) {
+  BccGeometry g(16, 16, 16, kA);
+  DomainDecomposition dd(g, 8, 2);
+  EXPECT_EQ(dd.grid(), (std::array<int, 3>{2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace mmd::lat

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/checkpoint.h"
+#include "io/xyz.h"
+#include "md/engine.h"
+
+namespace mmd::io {
+namespace {
+
+constexpr double kA = 2.855;
+
+TEST(Xyz, SpeciesSymbols) {
+  EXPECT_STREQ(species_symbol(-1), "X");
+  EXPECT_STREQ(species_symbol(0), "Fe");
+  EXPECT_STREQ(species_symbol(1), "Cu");
+}
+
+TEST(Xyz, FrameFormat) {
+  lat::BccGeometry g(3, 3, 3, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  std::ostringstream os;
+  XyzWriter writer;
+  writer.write_frame(os, lnl, 1.25);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "54");  // 2 * 27 atoms
+  std::getline(is, line);
+  EXPECT_NE(line.find("Lattice="), std::string::npos);
+  EXPECT_NE(line.find("Time=1.25"), std::string::npos);
+  std::getline(is, line);
+  EXPECT_EQ(line.rfind("Fe ", 0), 0u);
+}
+
+TEST(Xyz, VacanciesAndRunawaysMarked) {
+  lat::BccGeometry g(3, 3, 3, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  lnl.detach(lnl.box().entry_index({1, 1, 1, 0}));
+  std::ostringstream os;
+  XyzWriter writer;
+  writer.write_frame(os, lnl);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\nX "), std::string::npos);       // the vacancy
+  EXPECT_NE(s.find(" 1\n"), std::string::npos);       // a run-away flag
+  // Count line says 54 + 1 pseudo-atom: 54 atoms(incl runaway) + 1 vacancy.
+  EXPECT_EQ(s.substr(0, s.find('\n')), "55");
+}
+
+TEST(Xyz, VacancyExclusionOption) {
+  lat::BccGeometry g(3, 3, 3, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  lnl.detach(lnl.box().entry_index({1, 1, 1, 0}));
+  XyzWriter::Options opts;
+  opts.include_vacancies = false;
+  std::ostringstream os;
+  XyzWriter(opts).write_frame(os, lnl);
+  EXPECT_EQ(os.str().substr(0, os.str().find('\n')), "54");
+}
+
+TEST(Xyz, GlobalGatherWritesAllRanks) {
+  lat::BccGeometry g(8, 8, 8, kA);
+  lat::DomainDecomposition dd(g, 4, 2);
+  std::ostringstream os;
+  comm::World world(4);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(g, dd.local_box(comm.rank()), 5.0);
+    lnl.fill_perfect(lat::Species::Fe);
+    XyzWriter writer;
+    writer.write_frame_global(os, comm, lnl, 0.0);
+  });
+  EXPECT_EQ(os.str().substr(0, os.str().find('\n')), "1024");
+}
+
+TEST(Xyz, KmcSites) {
+  kmc::KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  cfg.table_segments = 200;
+  lat::BccGeometry geo(6, 6, 6, kA);
+  lat::DomainDecomposition dd(geo, 1, 3);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), 200);
+  kmc::KmcModel model(cfg, geo, dd, tables, 0);
+  model.set_state_global(0, kmc::SiteState::Vacancy);
+  std::ostringstream os;
+  XyzWriter().write_sites(os, model);
+  EXPECT_EQ(os.str().substr(0, os.str().find('\n')), "432");
+  EXPECT_NE(os.str().find("\nX "), std::string::npos);
+}
+
+TEST(Checkpoint, MdRoundTrip) {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  cfg.temperature = 300.0;
+  cfg.table_segments = 400;
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  std::string blob;
+  std::vector<util::Vec3> expected_r, expected_v;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+    engine.initialize(comm);
+    engine.run(comm, 3);
+    // Make a defect so the run-away pool round-trips too.
+    auto& lnl = engine.lattice();
+    const std::size_t idx = lnl.box().entry_index({3, 3, 3, 0});
+    lnl.entry(idx).r += util::Vec3{0.4, 0.3, 0.1};
+    lnl.detach(idx);
+    std::ostringstream os;
+    Checkpoint::save_md(os, lnl, engine.simulated_time());
+    blob = os.str();
+    for (std::size_t i : lnl.owned_indices()) {
+      expected_r.push_back(lnl.entry(i).r);
+      expected_v.push_back(lnl.entry(i).v);
+    }
+  });
+  // Restore into a fresh lattice.
+  lat::LatticeNeighborList restored(setup.geo, setup.dd.local_box(0),
+                                    cfg.cutoff + md::kNeighborSkin);
+  std::istringstream is(blob);
+  const double t = Checkpoint::load_md(is, restored);
+  EXPECT_GT(t, 0.0);
+  std::size_t k = 0;
+  for (std::size_t i : restored.owned_indices()) {
+    EXPECT_EQ(restored.entry(i).r, expected_r[k]);
+    EXPECT_EQ(restored.entry(i).v, expected_v[k]);
+    ++k;
+  }
+  EXPECT_EQ(restored.count_owned_vacancies(), 1u);
+  EXPECT_EQ(restored.count_owned_runaways(), 1u);
+}
+
+TEST(Checkpoint, MdRejectsWrongGeometry) {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  cfg.table_segments = 300;
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  std::string blob;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+    engine.initialize(comm);
+    std::ostringstream os;
+    Checkpoint::save_md(os, engine.lattice(), 0.0);
+    blob = os.str();
+  });
+  lat::BccGeometry other(8, 8, 8, cfg.lattice_constant);
+  lat::LatticeNeighborList wrong(other, lat::LocalBox{0, 0, 0, 8, 8, 8, 2}, 5.0);
+  std::istringstream is(blob);
+  EXPECT_THROW(Checkpoint::load_md(is, wrong), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsCorruptHeader) {
+  std::istringstream is(std::string("garbage data that is not a checkpoint"));
+  lat::BccGeometry g(4, 4, 4, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 4, 4, 4, 2}, 5.0);
+  EXPECT_THROW(Checkpoint::load_md(is, lnl), std::runtime_error);
+}
+
+TEST(Checkpoint, KmcRoundTrip) {
+  kmc::KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.table_segments = 200;
+  lat::BccGeometry geo(8, 8, 8, cfg.lattice_constant);
+  lat::DomainDecomposition dd(geo, 1, 3);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), 200);
+  kmc::KmcModel model(cfg, geo, dd, tables, 0);
+  model.set_state_global(17, kmc::SiteState::Vacancy);
+  model.set_state_global(333, kmc::SiteState::Cu);
+  std::ostringstream os;
+  Checkpoint::save_kmc(os, model, 1.5e-4);
+  kmc::KmcModel restored(cfg, geo, dd, tables, 0);
+  std::istringstream is(os.str());
+  EXPECT_DOUBLE_EQ(Checkpoint::load_kmc(is, restored), 1.5e-4);
+  EXPECT_EQ(restored.count_owned_vacancies(), 1u);
+  std::vector<std::size_t> images;
+  restored.images_of_global(333, images);
+  bool found_cu = false;
+  for (std::size_t i : images) {
+    if (restored.is_owned(i)) found_cu = restored.state(i) == kmc::SiteState::Cu;
+  }
+  EXPECT_TRUE(found_cu);
+}
+
+TEST(Checkpoint, KindMismatchRejected) {
+  kmc::KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  lat::BccGeometry geo(6, 6, 6, cfg.lattice_constant);
+  lat::DomainDecomposition dd(geo, 1, 3);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), 200);
+  kmc::KmcModel model(cfg, geo, dd, tables, 0);
+  std::ostringstream os;
+  Checkpoint::save_kmc(os, model, 0.0);
+  lat::LatticeNeighborList lnl(geo, dd.local_box(0), 5.0);
+  std::istringstream is(os.str());
+  EXPECT_THROW(Checkpoint::load_md(is, lnl), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mmd::io

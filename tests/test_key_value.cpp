@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "util/key_value.h"
+
+namespace mmd::util {
+namespace {
+
+TEST(KeyValue, ParsesBasicPairs) {
+  const auto cfg = KeyValueConfig::parse(
+      "box = 12\n"
+      "temperature=600.5\n"
+      "  kmc.strategy   =   on-demand  \n");
+  EXPECT_EQ(cfg.size(), 3u);
+  EXPECT_EQ(cfg.get_int("box", 0), 12);
+  EXPECT_DOUBLE_EQ(cfg.get_double("temperature", 0.0), 600.5);
+  EXPECT_EQ(cfg.get_string("kmc.strategy", ""), "on-demand");
+}
+
+TEST(KeyValue, CommentsAndBlankLines) {
+  const auto cfg = KeyValueConfig::parse(
+      "# full-line comment\n"
+      "\n"
+      "a = 1   # trailing hash\n"
+      "b = 2   ; trailing semicolon\n"
+      "   ; another comment\n");
+  EXPECT_EQ(cfg.size(), 2u);
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_int("b", 0), 2);
+}
+
+TEST(KeyValue, DefaultsWhenMissing) {
+  const auto cfg = KeyValueConfig::parse("");
+  EXPECT_EQ(cfg.get_int("nope", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("nope", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_string("nope", "x"), "x");
+  EXPECT_TRUE(cfg.get_bool("nope", true));
+  EXPECT_FALSE(cfg.has("nope"));
+}
+
+TEST(KeyValue, BoolSpellings) {
+  const auto cfg = KeyValueConfig::parse(
+      "a = true\nb = Off\nc = YES\nd = 0\ne = maybe\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_THROW(cfg.get_bool("e", false), std::invalid_argument);
+}
+
+TEST(KeyValue, MalformedInputRejected) {
+  EXPECT_THROW(KeyValueConfig::parse("just a line\n"), std::invalid_argument);
+  EXPECT_THROW(KeyValueConfig::parse("= value\n"), std::invalid_argument);
+  EXPECT_THROW(KeyValueConfig::parse("a = 1\na = 2\n"), std::invalid_argument);
+}
+
+TEST(KeyValue, TypeErrorsRejected) {
+  const auto cfg = KeyValueConfig::parse("a = 12abc\nb = 3.5\n");
+  EXPECT_THROW(cfg.get_int("a", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_int("b", 0), std::invalid_argument);  // not integral
+  EXPECT_THROW(cfg.get_double("a", 0), std::invalid_argument);
+}
+
+TEST(KeyValue, UnknownKeyDetection) {
+  const auto cfg = KeyValueConfig::parse("a = 1\nb = 2\ntypo = 3\n");
+  cfg.get_int("a", 0);
+  cfg.get_int("b", 0);
+  const auto unknown = cfg.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(KeyValue, FileNotFound) {
+  EXPECT_THROW(KeyValueConfig::parse_file("/nonexistent/path.cfg"),
+               std::runtime_error);
+}
+
+TEST(KeyValue, EmptyValueAllowed) {
+  const auto cfg = KeyValueConfig::parse("xyz = \n");
+  EXPECT_EQ(cfg.get_string("xyz", "default"), "");
+}
+
+}  // namespace
+}  // namespace mmd::util

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kmc/model.h"
+
+namespace mmd::kmc {
+namespace {
+
+KmcConfig small_config() {
+  KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.table_segments = 500;
+  return cfg;
+}
+
+struct Rig {
+  KmcConfig cfg;
+  lat::BccGeometry geo;
+  lat::DomainDecomposition dd;
+  pot::EamTableSet tables;
+
+  Rig(const KmcConfig& c, int nranks)
+      : cfg(c),
+        geo(c.nx, c.ny, c.nz, c.lattice_constant),
+        dd(geo, nranks,
+           lat::required_halo_cells(c.lattice_constant, c.cutoff) + 1),
+        tables(pot::EamTableSet::build(
+            pot::EamModel::iron(c.lattice_constant, c.cutoff), c.table_segments)) {}
+};
+
+TEST(RealTimeScale, MatchesPaperNumbers) {
+  // Paper §3: t_threshold = 2e-4, C_MC = 2e-6, T = 600 K yields 19.2 days.
+  // With the inverted formation energy E_v+ = 1.86 eV (see util/units.h) the
+  // formula lands on the paper's figure.
+  const double t_real = real_time_scale(2.0e-4, 2.0e-6, 600.0);
+  const double days = t_real / 86400.0;
+  EXPECT_GT(days, 15.0);
+  EXPECT_LT(days, 25.0);
+  // And the exact formula: C_real = exp(-E_v+ / (kB * 600)).
+  const double c_real = std::exp(-util::iron::kVacancyFormationEnergy /
+                                 (8.617333262e-5 * 600.0));
+  EXPECT_NEAR(t_real, 2.0e-4 * 2.0e-6 / c_real, 1e-9 * t_real);
+}
+
+TEST(KmcModel, InitialStateAllIron) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  EXPECT_EQ(m.count_owned_vacancies(), 0u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.state(i), SiteState::Fe);
+  }
+}
+
+TEST(KmcModel, EightNearestNeighborEvents) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  EXPECT_EQ(m.nn_offsets(0).size(), 8u);
+  EXPECT_EQ(m.nn_offsets(1).size(), 8u);
+}
+
+TEST(KmcModel, ImagesCoverWrappedCopies) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  // Single-rank box: a border site has ghost images on the far side.
+  const std::int64_t gid = rig.geo.site_id({0, 0, 0, 0});
+  std::vector<std::size_t> images;
+  m.images_of_global(gid, images);
+  EXPECT_GE(images.size(), 8u);  // 2 reps per axis
+  for (std::size_t i : images) {
+    EXPECT_EQ(m.site_rank_of(i), gid);
+  }
+}
+
+TEST(KmcModel, SetStateGlobalKeepsImagesCoherent) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  const std::int64_t gid = rig.geo.site_id({0, 0, 0, 1});
+  m.set_state_global(gid, SiteState::Vacancy);
+  std::vector<std::size_t> images;
+  m.images_of_global(gid, images);
+  for (std::size_t i : images) {
+    EXPECT_EQ(m.state(i), SiteState::Vacancy);
+  }
+  EXPECT_EQ(m.count_owned_vacancies(), 1u);
+}
+
+TEST(KmcModel, RhoAtPerfectLatticeMatchesCalibration) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  const pot::EamModel fe = pot::EamModel::iron(rig.cfg.lattice_constant, rig.cfg.cutoff);
+  const std::size_t center = m.index_of_local({4, 4, 4, 0});
+  EXPECT_NEAR(m.rho_at(center), fe.perfect_rho(0, rig.cfg.lattice_constant), 1e-4);
+}
+
+TEST(KmcModel, VacancyLowersNeighborRho) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  const std::size_t center = m.index_of_local({4, 4, 4, 0});
+  const double rho0 = m.rho_at(center);
+  // Remove a 1NN atom.
+  m.set_state_global(rig.geo.site_id({4, 4, 4, 1}), SiteState::Vacancy);
+  EXPECT_LT(m.rho_at(center), rho0);
+}
+
+TEST(KmcModel, RateFollowsArrhenius) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  const double kT = 8.617333262e-5 * rig.cfg.temperature;
+  EXPECT_NEAR(m.rate(0.0),
+              rig.cfg.prefactor * std::exp(-rig.cfg.migration_barrier / kT),
+              1e-6 * m.rate(0.0));
+  // Uphill exchanges are slower, downhill faster.
+  EXPECT_LT(m.rate(0.4), m.rate(0.0));
+  EXPECT_GT(m.rate(-0.4), m.rate(0.0));
+  // Barrier clamp: extremely downhill events saturate.
+  EXPECT_NEAR(m.rate(-100.0),
+              rig.cfg.prefactor * std::exp(-rig.cfg.min_barrier / kT),
+              1e-6 * m.rate(-100.0));
+}
+
+TEST(KmcModel, ExchangeDeSymmetricInBulk) {
+  // Moving an atom into an isolated vacancy and the reverse move have
+  // opposite energy changes (detailed-balance consistency).
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  const std::size_t vac = m.index_of_local({4, 4, 4, 0});
+  const std::size_t atom = m.index_of_local({4, 4, 4, 1});
+  m.set_state_global(m.site_rank_of(vac), SiteState::Vacancy);
+  const double dE_fwd = m.exchange_dE(vac, atom);
+  // Execute the swap.
+  m.set_state_global(m.site_rank_of(vac), SiteState::Fe);
+  m.set_state_global(m.site_rank_of(atom), SiteState::Vacancy);
+  const double dE_rev = m.exchange_dE(atom, vac);
+  EXPECT_NEAR(dE_fwd + dE_rev, 0.0, 1e-9);
+}
+
+TEST(KmcModel, IsolatedVacancyHopIsNeutral) {
+  // In a perfect crystal all 8 hop destinations are equivalent: dE ~ 0.
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  const std::size_t vac = m.index_of_local({4, 4, 4, 0});
+  m.set_state_global(m.site_rank_of(vac), SiteState::Vacancy);
+  const auto& box = m.box();
+  const auto c = box.coord_of(vac);
+  for (const auto& o : m.nn_offsets(c.sub)) {
+    const std::size_t nb =
+        box.entry_index({c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub});
+    EXPECT_NEAR(m.exchange_dE(vac, nb), 0.0, 1e-9);
+  }
+}
+
+TEST(KmcModel, DivacancyBindingAffectsDe) {
+  // A hop that separates two adjacent vacancies should differ energetically
+  // from a hop within a perfect region.
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  const std::size_t v1 = m.index_of_local({4, 4, 4, 0});
+  const std::size_t v2 = m.index_of_local({4, 4, 4, 1});
+  m.set_state_global(m.site_rank_of(v1), SiteState::Vacancy);
+  m.set_state_global(m.site_rank_of(v2), SiteState::Vacancy);
+  // Hop candidate: v1 exchanges with a far-side atom neighbor.
+  const auto c = m.box().coord_of(v1);
+  double dE_any = 0.0;
+  for (const auto& o : m.nn_offsets(c.sub)) {
+    const std::size_t nb =
+        m.box().entry_index({c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub});
+    if (m.state(nb) == SiteState::Vacancy) continue;
+    dE_any = m.exchange_dE(v1, nb);
+    break;
+  }
+  EXPECT_GT(std::abs(dE_any), 1e-6);
+}
+
+TEST(KmcModel, MemoryIsOneBytePerSitePlusTables) {
+  Rig rig(small_config(), 1);
+  KmcModel m(rig.cfg, rig.geo, rig.dd, rig.tables, 0);
+  EXPECT_LT(m.memory_bytes(), m.size() * 2 + (1u << 20));
+}
+
+TEST(KmcModel, ThrowsWhenHaloTooSmall) {
+  KmcConfig cfg = small_config();
+  lat::BccGeometry geo(cfg.nx, cfg.ny, cfg.nz, cfg.lattice_constant);
+  lat::DomainDecomposition dd(geo, 1, 1);  // halo 1 < required
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), 200);
+  EXPECT_THROW(KmcModel(cfg, geo, dd, tables, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmd::kmc

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "md/engine.h"
+
+namespace mmd::md {
+namespace {
+
+MdConfig small_config() {
+  MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  cfg.table_segments = 1000;  // fast table builds in tests
+  return cfg;
+}
+
+struct TestRig {
+  MdConfig cfg;
+  MdSetup setup;
+  pot::EamTableSet tables;
+
+  explicit TestRig(const MdConfig& c, int nranks)
+      : cfg(c),
+        setup(c, nranks),
+        tables(pot::EamTableSet::build(
+            pot::EamModel::iron(c.lattice_constant, c.cutoff), c.table_segments)) {}
+};
+
+TEST(MdEngine, PerfectLatticeHasNearZeroForces) {
+  MdConfig cfg = small_config();
+  cfg.temperature = 0.0;  // no thermal noise
+  TestRig rig(cfg, 1);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    double fmax = 0.0;
+    auto& lnl = engine.lattice();
+    for (std::size_t idx : lnl.owned_indices()) {
+      fmax = std::max(fmax, lnl.entry(idx).f.norm());
+    }
+    // Forces vanish by symmetry on a perfect BCC crystal.
+    EXPECT_LT(fmax, 1e-8);
+  });
+}
+
+TEST(MdEngine, InitialTemperatureNearTarget) {
+  MdConfig cfg = small_config();
+  cfg.temperature = 600.0;
+  TestRig rig(cfg, 1);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    // Maxwell-Boltzmann draw over 432 atoms: ~600 K within sampling noise.
+    EXPECT_NEAR(engine.temperature(comm), 600.0, 80.0);
+  });
+}
+
+TEST(MdEngine, MomentumApproximatelyConserved) {
+  MdConfig cfg = small_config();
+  TestRig rig(cfg, 1);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    auto total_p = [&]() {
+      util::Vec3 p{};
+      auto& lnl = engine.lattice();
+      for (std::size_t idx : lnl.owned_indices()) {
+        if (lnl.entry(idx).is_atom()) p += lnl.entry(idx).v;
+      }
+      lnl.for_each_owned_runaway(
+          [&](std::int32_t ri, std::size_t) { p += lnl.runaway(ri).v; });
+      return p;
+    };
+    const util::Vec3 p0 = total_p();
+    engine.run(comm, 20);
+    const util::Vec3 p1 = total_p();
+    // Pairwise-equal-and-opposite forces conserve momentum; tolerance covers
+    // floating-point accumulation over 20 steps.
+    EXPECT_NEAR((p1 - p0).norm(), 0.0, 1e-6 * std::max(1.0, p0.norm()));
+  });
+}
+
+TEST(MdEngine, NveEnergyDriftSmall) {
+  MdConfig cfg = small_config();
+  cfg.temperature = 300.0;
+  TestRig rig(cfg, 1);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    const double e0 = engine.kinetic_energy(comm) + engine.potential_energy(comm);
+    engine.run(comm, 50);
+    const double e1 = engine.kinetic_energy(comm) + engine.potential_energy(comm);
+    // NVE with 1 fs steps: drift well under 1% of the kinetic scale.
+    const double scale = std::abs(engine.kinetic_energy(comm)) + 1.0;
+    EXPECT_LT(std::abs(e1 - e0) / scale, 2e-2) << "e0=" << e0 << " e1=" << e1;
+  });
+}
+
+TEST(MdEngine, LatticeStaysIntactAtModerateTemperature) {
+  MdConfig cfg = small_config();
+  cfg.temperature = 300.0;
+  TestRig rig(cfg, 1);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    engine.run(comm, 50);
+    const auto d = engine.defects(comm);
+    EXPECT_EQ(d.vacancies, 0u);
+    EXPECT_EQ(d.interstitials, 0u);
+    EXPECT_EQ(d.atoms, static_cast<std::uint64_t>(rig.setup.geo.num_sites()));
+  });
+}
+
+TEST(MdEngine, PkaCreatesDefects) {
+  MdConfig cfg = small_config();
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.temperature = 100.0;
+  TestRig rig(cfg, 1);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    const std::int64_t site = rig.setup.geo.site_id({4, 4, 4, 0});
+    engine.inject_pka(comm, site, {1.0, 0.7, 0.3}, 80.0);
+    engine.run_for(comm, 0.05);  // 50 fs covers the ballistic phase
+    EXPECT_GE(engine.simulated_time(), 0.05);
+    const auto d = engine.defects(comm);
+    // The cascade displaces at least the PKA itself.
+    EXPECT_GE(d.vacancies, 1u);
+    EXPECT_GE(d.interstitials, 1u);
+    EXPECT_EQ(d.atoms, static_cast<std::uint64_t>(rig.setup.geo.num_sites()));
+    // MD outputs vacancy coordinates for the KMC stage.
+    const auto vacs = engine.vacancies();
+    EXPECT_EQ(vacs.size(), d.vacancies);
+    for (const auto& v : vacs) {
+      EXPECT_GE(v.site_rank, 0);
+      EXPECT_LT(v.site_rank, rig.setup.geo.num_sites());
+    }
+  });
+}
+
+class MdParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MdParallelEquivalence, TrajectoryIndependentOfDecomposition) {
+  const int nranks = GetParam();
+  MdConfig cfg = small_config();
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.temperature = 400.0;
+
+  auto snapshot = [&](int ranks) {
+    TestRig rig(cfg, ranks);
+    std::vector<util::Vec3> pos(static_cast<std::size_t>(rig.setup.geo.num_sites()));
+    std::mutex m;
+    comm::World world(ranks);
+    world.run([&](comm::Comm& comm) {
+      MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+      engine.initialize(comm);
+      engine.run(comm, 10);
+      auto& lnl = engine.lattice();
+      std::lock_guard lk(m);
+      for (std::size_t idx : lnl.owned_indices()) {
+        const auto& e = lnl.entry(idx);
+        if (e.is_atom()) pos[static_cast<std::size_t>(e.id)] = e.r;
+      }
+    });
+    return pos;
+  };
+
+  const auto serial = snapshot(1);
+  const auto parallel = snapshot(nranks);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Positions may differ by a box period in the local frame.
+    util::Vec3 d = serial[i] - parallel[i];
+    const util::Vec3 L{8 * cfg.lattice_constant, 8 * cfg.lattice_constant,
+                       8 * cfg.lattice_constant};
+    d.x -= L.x * std::nearbyint(d.x / L.x);
+    d.y -= L.y * std::nearbyint(d.y / L.y);
+    d.z -= L.z * std::nearbyint(d.z / L.z);
+    max_err = std::max(max_err, d.norm());
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MdParallelEquivalence,
+                         ::testing::Values(2, 4, 8));
+
+TEST(MdEngine, ThermostatPullsTowardTarget) {
+  MdConfig cfg = small_config();
+  cfg.temperature = 600.0;
+  cfg.thermostat_rate = 0.5;
+  TestRig rig(cfg, 1);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    // Kill most kinetic energy, thermostat should restore it.
+    auto& lnl = engine.lattice();
+    for (std::size_t idx : lnl.owned_indices()) lnl.entry(idx).v *= 0.2;
+    const double t_cold = engine.temperature(comm);
+    engine.run(comm, 40);
+    const double t_warm = engine.temperature(comm);
+    EXPECT_GT(t_warm, t_cold * 1.5);
+  });
+}
+
+TEST(MdEngine, TimersAccumulate) {
+  MdConfig cfg = small_config();
+  TestRig rig(cfg, 2);
+  comm::World world(2);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    engine.run(comm, 3);
+    EXPECT_GT(engine.computation_seconds(), 0.0);
+    EXPECT_GT(engine.communication_seconds(), 0.0);
+  });
+}
+
+TEST(MdSetup, ThrowsForImpossibleDecomposition) {
+  MdConfig cfg = small_config();
+  cfg.nx = cfg.ny = cfg.nz = 4;
+  EXPECT_THROW(MdSetup(cfg, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmd::md

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "perf/scaling_model.h"
+
+namespace mmd::perf {
+namespace {
+
+TEST(NetworkModel, BandwidthDegradesWithRanks) {
+  NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.effective_bandwidth(1), net.bandwidth_bps);
+  EXPECT_LT(net.effective_bandwidth(1024), net.effective_bandwidth(16));
+}
+
+TEST(NetworkModel, P2pTimeComposition) {
+  NetworkModel net{1e-6, 1e9, 0.0};
+  EXPECT_NEAR(net.p2p_time(2, 1000, 1), 2e-6 + 1e-6, 1e-12);
+}
+
+TEST(NetworkModel, CollectiveGrowsLogarithmically) {
+  NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.collective_time(1), 0.0);
+  EXPECT_NEAR(net.collective_time(1024) / net.collective_time(32), 2.0, 1e-9);
+}
+
+TEST(ScalingModel, WeakScalingEfficiencyDecreases) {
+  ScalingModel model;
+  StepProfile p{0.01, 6, 1 << 20, 1};
+  const double t_base = model.step_time(p, 16);
+  double prev = t_base;
+  for (std::uint64_t n : {64u, 256u, 4096u, 65536u}) {
+    const double t = model.step_time(p, n);
+    EXPECT_GE(t, prev);  // monotone
+    prev = t;
+  }
+  const double eff = ScalingModel::weak_efficiency(t_base, prev);
+  EXPECT_GT(eff, 0.3);
+  EXPECT_LT(eff, 1.0);
+}
+
+TEST(ScalingModel, StrongScalingShrinksComputeAndSurface) {
+  ScalingModel model;
+  StepProfile base{1.0, 6, 1 << 24, 1};
+  const StepProfile scaled = model.strong_scale(base, 8.0);
+  EXPECT_NEAR(scaled.compute_s, 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(scaled.p2p_bytes),
+              static_cast<double>(base.p2p_bytes) * 0.25, 1e3);
+  EXPECT_EQ(scaled.p2p_msgs, base.p2p_msgs);
+}
+
+TEST(ScalingModel, StrongScalingEfficiencyBelowOne) {
+  ScalingModel model;
+  StepProfile base{0.5, 6, 1 << 22, 1};
+  const double t1 = model.step_time(base, 64);
+  const double t64 = model.step_time(model.strong_scale(base, 64.0), 4096);
+  const double speedup = t1 / t64;
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LT(ScalingModel::strong_efficiency(speedup, 64.0), 1.0);
+}
+
+TEST(ScalingModel, CacheBoostGivesSuperlinearRegion) {
+  // Models the paper's Fig. 14 super-linear strong-scaling region (dataset
+  // fits in L2 once divided far enough).
+  ScalingModel model;
+  StepProfile base{1.0, 0, 0, 0};
+  const StepProfile boosted = model.strong_scale(base, 4.0, 1.5);
+  EXPECT_LT(boosted.compute_s, 0.25);
+}
+
+TEST(Calibration, WeakComputeReproducesTarget) {
+  const double m_base = 1e-3, m_n = 5e-3, eff = 0.8;
+  const double c = ScalingModel::calibrate_weak_compute(m_base, m_n, eff);
+  ASSERT_GT(c, 0.0);
+  EXPECT_NEAR((c + m_base) / (c + m_n), eff, 1e-12);
+}
+
+TEST(Calibration, WeakComputeUnreachableReturnsZero) {
+  // Comm does not grow: no compute value can push efficiency below 1.
+  EXPECT_DOUBLE_EQ(ScalingModel::calibrate_weak_compute(1e-3, 1e-3, 0.8), 0.0);
+  EXPECT_DOUBLE_EQ(ScalingModel::calibrate_weak_compute(1e-3, 2e-3, 1.5), 0.0);
+}
+
+TEST(Calibration, StrongComputeReproducesTarget) {
+  const double m_base = 2e-3, m_n = 1e-3, f = 64.0, s = 26.4;
+  const double c = ScalingModel::calibrate_strong_compute(m_base, m_n, f, s);
+  ASSERT_GT(c, 0.0);
+  EXPECT_NEAR((c + m_base) / (c / f + m_n), s, 1e-9);
+}
+
+TEST(Calibration, StrongComputeWithCacheBoost) {
+  const double m_base = 2e-3, m_n = 1e-3, f = 32.0, s = 18.5, boost = 1.25;
+  const double c =
+      ScalingModel::calibrate_strong_compute(m_base, m_n, f, s, boost);
+  ASSERT_GT(c, 0.0);
+  EXPECT_NEAR((c + m_base) / (c / (f * boost) + m_n), s, 1e-9);
+}
+
+TEST(Calibration, StrongSuperIdealTargetRejected) {
+  // speedup >= f * boost cannot be produced by any finite compute time.
+  EXPECT_DOUBLE_EQ(
+      ScalingModel::calibrate_strong_compute(1e-3, 1e-3, 8.0, 9.0), 0.0);
+}
+
+TEST(CoreAccounting, MasterPlusSlaveCores) {
+  EXPECT_EQ(kCoresPerGroup, 65u);
+  EXPECT_EQ(ranks_from_cores(6240000), 96000u);
+  EXPECT_EQ(cores_from_ranks(1600), 104000u);
+  EXPECT_EQ(ranks_from_cores(6656000), 102400u);
+}
+
+}  // namespace
+}  // namespace mmd::perf

@@ -1,0 +1,257 @@
+// Property-style sweeps across modules: invariants that must hold over
+// parameter grids (box shapes, rank counts, resolutions, random walks),
+// complementing the targeted unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <set>
+
+#include "comm/world.h"
+#include "kmc/engine.h"
+#include "lattice/ghost_exchange.h"
+#include "md/engine.h"
+#include "potential/spline.h"
+
+namespace mmd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spline convergence: interpolation error must fall as resolution grows.
+// ---------------------------------------------------------------------------
+
+class SplineConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplineConvergence, ErrorShrinksWithResolution) {
+  auto f = [](double x) { return std::exp(-x) * std::sin(3.0 * x); };
+  const int n = GetParam();
+  auto coarse = pot::CompactTable::build(f, 0.0, 4.0, n);
+  auto fine = pot::CompactTable::build(f, 0.0, 4.0, n * 4);
+  double err_coarse = 0.0, err_fine = 0.0;
+  for (double x = 0.05; x < 3.95; x += 0.0137) {
+    err_coarse = std::max(err_coarse, std::abs(coarse.value(x) - f(x)));
+    err_fine = std::max(err_fine, std::abs(fine.value(x) - f(x)));
+  }
+  // Quartic-ish local error: 4x resolution should gain far more than 8x.
+  EXPECT_LT(err_fine, err_coarse / 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, SplineConvergence,
+                         ::testing::Values(50, 100, 200));
+
+// ---------------------------------------------------------------------------
+// Ghost exchange over non-cubic boxes and rank grids.
+// ---------------------------------------------------------------------------
+
+struct BoxCase {
+  int nx, ny, nz, nranks;
+};
+
+class GhostExchangeShapes : public ::testing::TestWithParam<BoxCase> {};
+
+TEST_P(GhostExchangeShapes, PerfectCrystalRoundTrip) {
+  const auto [nx, ny, nz, nranks] = GetParam();
+  lat::BccGeometry geo(nx, ny, nz, 2.855);
+  lat::DomainDecomposition dd(geo, nranks, 2);
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(geo, dd.local_box(comm.rank()), 5.0);
+    lnl.fill_perfect(lat::Species::Fe);
+    lnl.clear_ghosts();
+    lat::GhostExchange ghosts(lnl, dd, comm.rank());
+    ghosts.exchange(comm);
+    for (std::size_t i = 0; i < lnl.size(); ++i) {
+      const auto& e = lnl.entry(i);
+      ASSERT_TRUE(e.is_atom());
+      ASSERT_EQ(e.id, lnl.site_rank(i));
+      ASSERT_NEAR((e.r - lnl.ideal_position(i)).norm(), 0.0, 1e-12);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GhostExchangeShapes,
+    ::testing::Values(BoxCase{6, 8, 10, 2}, BoxCase{12, 6, 6, 3},
+                      BoxCase{8, 8, 12, 6}, BoxCase{10, 8, 6, 4},
+                      BoxCase{6, 6, 6, 1}));
+
+// ---------------------------------------------------------------------------
+// Run-away fuzz: random detachment and drift must conserve atoms and leave
+// the structure self-consistent after repeated rehome/exchange rounds.
+// ---------------------------------------------------------------------------
+
+class RunawayFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RunawayFuzz, AtomsConservedUnderRandomWalks) {
+  const std::uint64_t seed = GetParam();
+  const int nranks = 2;
+  lat::BccGeometry geo(8, 8, 8, 2.855);
+  lat::DomainDecomposition dd(geo, nranks, 2);
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(geo, dd.local_box(comm.rank()), 5.0);
+    lnl.fill_perfect(lat::Species::Fe);
+    lat::GhostExchange ghosts(lnl, dd, comm.rank());
+    ghosts.exchange(comm);
+    util::Rng rng(seed + static_cast<std::uint64_t>(comm.rank()) * 977);
+    for (int round = 0; round < 6; ++round) {
+      std::vector<lat::RunawayAtom> emigrants;
+      // Detach a few random owned atoms with random displacements.
+      for (int k = 0; k < 5; ++k) {
+        const auto& owned = lnl.owned_indices();
+        const std::size_t idx = owned[rng.uniform_index(owned.size())];
+        if (!lnl.entry(idx).is_atom()) continue;
+        lnl.entry(idx).r += rng.unit_vector() * rng.uniform(1.3, 3.0);
+        lnl.detach(idx, &emigrants);
+      }
+      // Drift every runaway a little.
+      lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+        lnl.runaway(ri).r += rng.unit_vector() * rng.uniform(0.0, 1.0);
+      });
+      lnl.rehome_runaways(&emigrants);
+      ghosts.exchange(comm, std::move(emigrants));
+      const auto atoms = comm.allreduce_sum_u64(
+          static_cast<std::uint64_t>(lnl.count_owned_atoms()));
+      const auto vacs = comm.allreduce_sum_u64(
+          static_cast<std::uint64_t>(lnl.count_owned_vacancies()));
+      const auto runaways = comm.allreduce_sum_u64(
+          static_cast<std::uint64_t>(lnl.count_owned_runaways()));
+      ASSERT_EQ(atoms, static_cast<std::uint64_t>(geo.num_sites()));
+      ASSERT_EQ(vacs, runaways);  // every vacancy has exactly one interstitial
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunawayFuzz, ::testing::Values(1, 2, 3, 5, 8));
+
+// ---------------------------------------------------------------------------
+// KMC event statistics: with uniform rates, the BKL selection must pick each
+// of a vacancy's 8 events uniformly.
+// ---------------------------------------------------------------------------
+
+TEST(KmcStatistics, IsolatedVacancyHopsUniformly) {
+  kmc::KmcConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.table_segments = 300;
+  cfg.dt_scale = 1.0;
+  const kmc::KmcSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  // Count the direction of first hops over many seeds.
+  std::map<std::int64_t, int> first_hop_counts;
+  const int trials = 64;
+  for (int t = 0; t < trials; ++t) {
+    kmc::KmcConfig c = cfg;
+    c.seed = 1000 + static_cast<std::uint64_t>(t);
+    comm::World world(1);
+    world.run([&](comm::Comm& comm) {
+      kmc::KmcEngine engine(c, setup.geo, setup.dd, tables, comm.rank(),
+                            kmc::GhostStrategy::OnDemandOneSided);
+      const std::int64_t start = setup.geo.site_id({4, 4, 4, 0});
+      std::vector<std::int64_t> sites{start};
+      engine.initialize_sites(comm, sites);
+      while (engine.stats().events == 0) engine.run_cycles(comm, 1);
+      const auto vacs = engine.gather_vacancies(comm);
+      ASSERT_EQ(vacs.size(), 1u);
+      ++first_hop_counts[vacs[0]];
+    });
+  }
+  // All observed destinations are 1NN sites of the start; with 64 trials and
+  // 8 equivalent directions, expect every direction observed at least once
+  // and no direction hogging more than half.
+  EXPECT_GE(first_hop_counts.size(), 5u);
+  for (const auto& [site, count] : first_hop_counts) {
+    EXPECT_LT(count, trials / 2) << site;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MD energy conservation improves with smaller time steps.
+// ---------------------------------------------------------------------------
+
+TEST(MdProperties, EnergyDriftShrinksWithTimestep) {
+  auto drift_for = [](double dt) {
+    md::MdConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 5;
+    cfg.temperature = 500.0;
+    cfg.table_segments = 500;
+    cfg.dt = dt;
+    cfg.max_displacement = 0.0;  // fixed step for the comparison
+    const md::MdSetup setup(cfg, 1);
+    const auto tables = pot::EamTableSet::build(
+        pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+    double drift = 0.0;
+    comm::World world(1);
+    world.run([&](comm::Comm& comm) {
+      md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+      engine.initialize(comm);
+      const double e0 =
+          engine.kinetic_energy(comm) + engine.potential_energy(comm);
+      engine.run_for(comm, 0.04);
+      const double e1 =
+          engine.kinetic_energy(comm) + engine.potential_energy(comm);
+      drift = std::abs(e1 - e0);
+    });
+    return drift;
+  };
+  const double coarse = drift_for(0.004);
+  const double fine = drift_for(0.001);
+  EXPECT_LT(fine, coarse);
+}
+
+// ---------------------------------------------------------------------------
+// Communication stress: many interleaved tags and senders resolve correctly.
+// ---------------------------------------------------------------------------
+
+TEST(CommStress, InterleavedTagsAcrossRanks) {
+  const int nranks = 6;
+  comm::World world(nranks);
+  world.run([&](comm::Comm& c) {
+    // Everyone sends 20 messages to every other rank with mixed tags.
+    for (int dst = 0; dst < nranks; ++dst) {
+      if (dst == c.rank()) continue;
+      for (int k = 0; k < 20; ++k) {
+        const int payload = c.rank() * 1000 + k;
+        c.send_value(dst, /*tag=*/k % 4, payload);
+      }
+    }
+    // Receive per (src, tag) and check ordering within the pair (FIFO).
+    for (int src = 0; src < nranks; ++src) {
+      if (src == c.rank()) continue;
+      std::map<int, int> next_k;
+      for (int k = 0; k < 20; ++k) next_k[k % 4] = 0;  // counts per tag
+      for (int tag = 0; tag < 4; ++tag) {
+        const int expected = 5;  // 20 messages over 4 tags
+        for (int i = 0; i < expected; ++i) {
+          auto v = c.recv_vector<int>(src, tag);
+          ASSERT_EQ(v.size(), 1u);
+          const int k = v[0] - src * 1000;
+          EXPECT_EQ(k % 4, tag);
+          EXPECT_GE(k, next_k[tag]);  // FIFO within (src, tag)
+          next_k[tag] = k;
+        }
+      }
+    }
+    c.barrier();
+  });
+}
+
+TEST(CommStress, LargePayloadRoundTrip) {
+  comm::World world(2);
+  world.run([](comm::Comm& c) {
+    const std::size_t n = 1 << 20;  // 8 MB of doubles
+    if (c.rank() == 0) {
+      std::vector<double> big(n);
+      for (std::size_t i = 0; i < n; ++i) big[i] = static_cast<double>(i) * 0.5;
+      c.send(1, 1, std::span<const double>(big));
+    } else {
+      auto big = c.recv_vector<double>(0, 1);
+      ASSERT_EQ(big.size(), n);
+      EXPECT_DOUBLE_EQ(big[n - 1], static_cast<double>(n - 1) * 0.5);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,192 @@
+// Deep physics checks of the EAM force engine: analytic dimer limits,
+// force-energy consistency (F = -dE/dx by finite differences), and
+// translational invariance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/ghost_exchange.h"
+#include "md/engine.h"
+#include "md/reference_force.h"
+
+namespace mmd::md {
+namespace {
+
+constexpr double kA = 2.855;
+
+struct Crystal {
+  MdConfig cfg;
+  MdSetup setup;
+  pot::EamTableSet tables;
+
+  Crystal()
+      : cfg(make_cfg()),
+        setup(cfg, 1),
+        tables(pot::EamTableSet::build(
+            pot::EamModel::iron(kA, cfg.cutoff), cfg.table_segments)) {}
+
+  static MdConfig make_cfg() {
+    MdConfig c;
+    c.nx = c.ny = c.nz = 6;
+    c.temperature = 0.0;
+    c.table_segments = 2000;
+    return c;
+  }
+};
+
+/// Total potential energy after refreshing rho (serial, periodic).
+double energy_of(Crystal& x, lat::LatticeNeighborList& lnl,
+                 lat::GhostExchange& ghosts, comm::Comm& comm) {
+  ReferenceForce force(x.tables);
+  ghosts.exchange(comm);
+  force.compute_rho(lnl);
+  ghosts.exchange_rho(comm);
+  return force.potential_energy(lnl);
+}
+
+TEST(ReferenceForce, CohesiveEnergyIsNegative) {
+  Crystal x;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(x.setup.geo, x.setup.dd.local_box(0),
+                                 x.cfg.cutoff + kNeighborSkin);
+    lnl.fill_perfect(lat::Species::Fe);
+    lat::GhostExchange ghosts(lnl, x.setup.dd, 0);
+    const double e = energy_of(x, lnl, ghosts, comm);
+    const double per_atom = e / static_cast<double>(x.setup.geo.num_sites());
+    // Bound crystal: negative cohesive energy of a few eV per atom.
+    EXPECT_LT(per_atom, -0.5);
+    EXPECT_GT(per_atom, -20.0);
+  });
+}
+
+TEST(ReferenceForce, ForceMatchesEnergyGradient) {
+  // Displace one atom along x and compare -dE/dx (finite difference of the
+  // total energy) with the computed force component.
+  Crystal x;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(x.setup.geo, x.setup.dd.local_box(0),
+                                 x.cfg.cutoff + kNeighborSkin);
+    lat::GhostExchange ghosts(lnl, x.setup.dd, 0);
+    ReferenceForce force(x.tables);
+    const std::size_t idx = lnl.box().entry_index({3, 3, 3, 0});
+
+    auto energy_at = [&](double dx) {
+      lnl.fill_perfect(lat::Species::Fe);
+      lnl.entry(idx).r += util::Vec3{0.2 + dx, 0.1, -0.15};
+      return energy_of(x, lnl, ghosts, comm);
+    };
+    const double h = 1e-5;
+    const double dEdx = (energy_at(h) - energy_at(-h)) / (2.0 * h);
+
+    lnl.fill_perfect(lat::Species::Fe);
+    lnl.entry(idx).r += util::Vec3{0.2, 0.1, -0.15};
+    ghosts.exchange(comm);
+    force.compute_rho(lnl);
+    ghosts.exchange_rho(comm);
+    force.compute_forces(lnl);
+    EXPECT_NEAR(lnl.entry(idx).f.x, -dEdx, 5e-4 * std::max(1.0, std::abs(dEdx)));
+  });
+}
+
+TEST(ReferenceForce, NewtonsThirdLawForPerturbedPair) {
+  // Perturb two atoms; the force changes they induce on each other must be
+  // equal and opposite (full-loop symmetry check via total-force sum).
+  Crystal x;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(x.setup.geo, x.setup.dd.local_box(0),
+                                 x.cfg.cutoff + kNeighborSkin);
+    lnl.fill_perfect(lat::Species::Fe);
+    lnl.entry(lnl.box().entry_index({2, 2, 2, 0})).r += util::Vec3{0.3, 0, 0};
+    lnl.entry(lnl.box().entry_index({3, 3, 3, 1})).r += util::Vec3{0, -0.25, 0.1};
+    lat::GhostExchange ghosts(lnl, x.setup.dd, 0);
+    ReferenceForce force(x.tables);
+    ghosts.exchange(comm);
+    force.compute_rho(lnl);
+    ghosts.exchange_rho(comm);
+    force.compute_forces(lnl);
+    util::Vec3 total{};
+    for (std::size_t i : lnl.owned_indices()) {
+      if (lnl.entry(i).is_atom()) total += lnl.entry(i).f;
+    }
+    EXPECT_NEAR(total.norm(), 0.0, 1e-8);
+  });
+}
+
+TEST(ReferenceForce, TranslationalInvariance) {
+  // Shifting every atom by the same vector (mod the box) leaves energy and
+  // force magnitudes unchanged.
+  Crystal x;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(x.setup.geo, x.setup.dd.local_box(0),
+                                 x.cfg.cutoff + kNeighborSkin);
+    lat::GhostExchange ghosts(lnl, x.setup.dd, 0);
+
+    lnl.fill_perfect(lat::Species::Fe);
+    const std::size_t probe = lnl.box().entry_index({3, 3, 3, 0});
+    lnl.entry(probe).r += util::Vec3{0.3, 0.2, 0.1};
+    const double e0 = energy_of(x, lnl, ghosts, comm);
+
+    lnl.fill_perfect(lat::Species::Fe);
+    const util::Vec3 shift{0.4, -0.7, 1.1};
+    for (std::size_t i : lnl.owned_indices()) lnl.entry(i).r += shift;
+    lnl.entry(probe).r += util::Vec3{0.3, 0.2, 0.1};
+    const double e1 = energy_of(x, lnl, ghosts, comm);
+    EXPECT_NEAR(e0, e1, 1e-7 * std::abs(e0));
+  });
+}
+
+TEST(ReferenceForce, DimerForceIsRadialAndAntisymmetric) {
+  // A perturbed 1NN pair: force difference lies along the pair axis.
+  Crystal x;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    lat::LatticeNeighborList lnl(x.setup.geo, x.setup.dd.local_box(0),
+                                 x.cfg.cutoff + kNeighborSkin);
+    lnl.fill_perfect(lat::Species::Fe);
+    const std::size_t a = lnl.box().entry_index({3, 3, 3, 0});
+    const std::size_t b = lnl.box().entry_index({3, 3, 3, 1});
+    // Compress the pair along its axis.
+    const util::Vec3 axis = (lnl.entry(b).r - lnl.entry(a).r).normalized();
+    lnl.entry(a).r += axis * 0.2;
+    lnl.entry(b).r -= axis * 0.2;
+    lat::GhostExchange ghosts(lnl, x.setup.dd, 0);
+    ReferenceForce force(x.tables);
+    ghosts.exchange(comm);
+    force.compute_rho(lnl);
+    ghosts.exchange_rho(comm);
+    force.compute_forces(lnl);
+    const util::Vec3 fa = lnl.entry(a).f;
+    const util::Vec3 fb = lnl.entry(b).f;
+    // By the symmetry of the compressed configuration, f_a = -f_b and both
+    // point outward along the axis (repulsive at compression).
+    EXPECT_NEAR((fa + fb).norm(), 0.0, 1e-8);
+    EXPECT_LT(fa.dot(axis), 0.0);
+    EXPECT_GT(fb.dot(axis), 0.0);
+    // Radial: no component orthogonal to the axis.
+    EXPECT_NEAR(fa.cross(axis).norm(), 0.0, 1e-8);
+  });
+}
+
+TEST(ReferenceForce, PotentialEnergyDeterministicAcrossRuns) {
+  Crystal x;
+  double e1 = 0, e2 = 0;
+  for (double* e : {&e1, &e2}) {
+    comm::World world(1);
+    world.run([&](comm::Comm& comm) {
+      lat::LatticeNeighborList lnl(x.setup.geo, x.setup.dd.local_box(0),
+                                   x.cfg.cutoff + kNeighborSkin);
+      lnl.fill_perfect(lat::Species::Fe);
+      lat::GhostExchange ghosts(lnl, x.setup.dd, 0);
+      *e = energy_of(x, lnl, ghosts, comm);
+    });
+  }
+  EXPECT_EQ(e1, e2);
+}
+
+}  // namespace
+}  // namespace mmd::md

@@ -1,0 +1,148 @@
+// White-box tests of the sector exchange planner: the traditional KMC
+// get/put pattern is only deadlock- and corruption-free if every rank
+// derives mutually consistent plans from the same pure function of the
+// decomposition. These tests check that consistency directly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "kmc/comm_strategy.h"
+#include "kmc/engine.h"
+
+namespace mmd::kmc {
+namespace {
+
+struct Rig {
+  KmcConfig cfg;
+  KmcSetup setup;
+  pot::EamTableSet tables;
+
+  explicit Rig(int nranks, int box = 10)
+      : cfg(make_cfg(box)),
+        setup(cfg, nranks),
+        tables(pot::EamTableSet::build(
+            pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), 300)) {}
+
+  static KmcConfig make_cfg(int box) {
+    KmcConfig c;
+    c.nx = c.ny = c.nz = box;
+    c.table_segments = 300;
+    return c;
+  }
+};
+
+class SectorPlanRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(SectorPlanRanks, GetThenPutRoundTripsArbitraryState) {
+  // Fill every rank's owned sites with a site-rank-derived pattern, exchange
+  // sector by sector, and verify each rank's ghost images match the owner's
+  // pattern exactly — for every sector region.
+  const int nranks = GetParam();
+  Rig rig(nranks);
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    KmcModel model(rig.cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    for (std::size_t idx : model.owned_indices()) {
+      model.set_state(idx,
+                      static_cast<SiteState>(model.site_rank_of(idx) % 3));
+    }
+    const int halo = model.box().halo;
+    for (int sector = 0; sector < 8; ++sector) {
+      SectorExchangePlan plan(rig.setup.geo, rig.setup.dd, comm.rank(), sector,
+                              halo);
+      plan.get(comm, model, 500 + sector);
+    }
+    // After GETs over all sectors, every storage image agrees with the
+    // pattern of its global site.
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      const auto expect =
+          static_cast<SiteState>(model.site_rank_of(i) % 3);
+      ASSERT_EQ(model.state(i), expect) << "idx " << i;
+    }
+    comm.barrier();
+  });
+}
+
+TEST_P(SectorPlanRanks, PutDeliversGhostModificationsToOwner) {
+  const int nranks = GetParam();
+  Rig rig(nranks);
+  comm::World world(nranks);
+  world.run([&](comm::Comm& comm) {
+    KmcModel model(rig.cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    const int halo = model.box().halo;
+    for (int sector = 0; sector < 8; ++sector) {
+      SectorExchangePlan get_plan(rig.setup.geo, rig.setup.dd, comm.rank(),
+                                  sector, halo);
+      SectorExchangePlan put_plan(rig.setup.geo, rig.setup.dd, comm.rank(),
+                                  sector, /*depth=*/1);
+      get_plan.get(comm, model, 600 + sector);
+      const auto snapshot = put_plan.snapshot(model);
+      // Rank 0 marks one ghost site in the put region of this sector (if it
+      // has one) by flipping it to Vacancy.
+      std::int64_t marked_gid = -1;
+      if (comm.rank() == 0) {
+        const auto& b = model.box();
+        for (std::size_t i = 0; i < model.size(); ++i) {
+          if (model.is_owned(i)) continue;
+          const auto c = b.coord_of(i);
+          // Depth-1 shell of this sector: one cell beyond the octant.
+          const int mids[3] = {b.lx / 2, b.ly / 2, b.lz / 2};
+          const int los[3] = {((sector >> 0) & 1) ? mids[0] - 1 : -1,
+                              ((sector >> 1) & 1) ? mids[1] - 1 : -1,
+                              ((sector >> 2) & 1) ? mids[2] - 1 : -1};
+          const int his[3] = {((sector >> 0) & 1) ? b.lx + 1 : mids[0] + 1,
+                              ((sector >> 1) & 1) ? b.ly + 1 : mids[1] + 1,
+                              ((sector >> 2) & 1) ? b.lz + 1 : mids[2] + 1};
+          const int cc[3] = {c.x, c.y, c.z};
+          bool in = true;
+          for (int a = 0; a < 3; ++a) in = in && cc[a] >= los[a] && cc[a] < his[a];
+          if (!in) continue;
+          marked_gid = model.site_rank_of(i);
+          model.set_state_global(marked_gid, SiteState::Vacancy);
+          break;
+        }
+      }
+      put_plan.put(comm, model, 700 + sector, snapshot);
+      // Broadcast the marked gid and verify the owner (and everyone holding
+      // an image after its own gets) sees the vacancy.
+      std::int64_t gid = marked_gid;
+      if (comm.rank() == 0) {
+        for (int r = 1; r < comm.size(); ++r) comm.send_value(r, 800, gid);
+      } else {
+        gid = comm.recv_vector<std::int64_t>(0, 800)[0];
+      }
+      if (gid >= 0) {
+        std::vector<std::size_t> images;
+        model.images_of_global(gid, images);
+        for (std::size_t i : images) {
+          if (model.is_owned(i)) {
+            ASSERT_EQ(model.state(i), SiteState::Vacancy)
+                << "sector " << sector << " owner did not receive the put";
+          }
+        }
+      }
+      // Reset for the next sector.
+      if (gid >= 0) model.set_state_global(gid, SiteState::Fe);
+      comm.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SectorPlanRanks, ::testing::Values(2, 4, 8));
+
+TEST(SectorPlan, GhostSiteCountsArePositive) {
+  Rig rig(2);
+  for (int sector = 0; sector < 8; ++sector) {
+    SectorExchangePlan plan(rig.setup.geo, rig.setup.dd, 0, sector, 4);
+    EXPECT_GT(plan.ghost_sites(), 0u) << sector;
+  }
+  SectorExchangePlan full(rig.setup.geo, rig.setup.dd, 0, -1, 4);
+  // Full halo dwarfs any single sector shell.
+  SectorExchangePlan s0(rig.setup.geo, rig.setup.dd, 0, 0, 4);
+  EXPECT_GT(full.ghost_sites(), s0.ghost_sites());
+}
+
+}  // namespace
+}  // namespace mmd::kmc

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "potential/setfl.h"
+
+namespace mmd::pot {
+namespace {
+
+TEST(Setfl, RoundTripIronModel) {
+  const EamModel fe = EamModel::iron();
+  const SetflData d = setfl_from_model(fe, {"Fe"});
+  std::ostringstream os;
+  write_setfl(os, d);
+  std::istringstream is(os.str());
+  const SetflData back = parse_setfl(is);
+  EXPECT_EQ(back.elements, d.elements);
+  EXPECT_EQ(back.nrho, d.nrho);
+  EXPECT_EQ(back.nr, d.nr);
+  EXPECT_DOUBLE_EQ(back.cutoff, d.cutoff);
+  ASSERT_EQ(back.embed.size(), 1u);
+  ASSERT_EQ(back.density.size(), 1u);
+  ASSERT_EQ(back.rphi.size(), 1u);
+  for (std::size_t i = 0; i < d.embed[0].size(); i += 97) {
+    EXPECT_DOUBLE_EQ(back.embed[0][i], d.embed[0][i]);
+  }
+  EXPECT_EQ(back.meta[0].atomic_number, 26);
+  EXPECT_EQ(back.meta[0].structure, "bcc");
+}
+
+TEST(Setfl, TablesMatchSourceModel) {
+  const EamModel fe = EamModel::iron();
+  const SetflData d = setfl_from_model(fe, {"Fe"}, 4000, 4000);
+  const EamTableSet from_file = tables_from_setfl(d, 2000);
+  const EamTableSet direct = EamTableSet::build(fe, 2000);
+  // Loaded tables agree with the direct build (linear resampling of a dense
+  // file grid; tolerances reflect the double interpolation).
+  for (double r = 1.2; r < 4.9; r += 0.083) {
+    ASSERT_NEAR(from_file.phi(0, 0).value(r), direct.phi(0, 0).value(r), 2e-3) << r;
+    ASSERT_NEAR(from_file.f(0, 0).value(r), direct.f(0, 0).value(r), 1e-3) << r;
+  }
+  const double rho_e = fe.species(0).rho_e;
+  for (double rho = 0.2 * rho_e; rho < 1.8 * rho_e; rho += 0.2 * rho_e) {
+    ASSERT_NEAR(from_file.embed_of(0).value(rho), direct.embed_of(0).value(rho),
+                2e-3) << rho;
+  }
+}
+
+TEST(Setfl, AlloyPairOrdering) {
+  const EamModel alloy = EamModel::iron_copper();
+  const SetflData d = setfl_from_model(alloy, {"Fe", "Cu"}, 1500, 1000);
+  ASSERT_EQ(d.rphi.size(), 3u);  // (Fe,Fe), (Cu,Fe), (Cu,Cu)
+  const EamTableSet t = tables_from_setfl(d, 1000);
+  EXPECT_EQ(t.num_species, 2);
+  // Cross pair lands in the right slot: compare against the analytic model.
+  for (double r = 2.0; r < 4.5; r += 0.31) {
+    ASSERT_NEAR(t.phi(0, 1).value(r), alloy.phi(0, 1, r), 5e-3) << r;
+    ASSERT_NEAR(t.phi(1, 1).value(r), alloy.phi(1, 1, r), 5e-3) << r;
+  }
+}
+
+TEST(Setfl, RejectsMalformedInput) {
+  {
+    std::istringstream is("only\ntwo lines\n");
+    EXPECT_THROW(parse_setfl(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("c1\nc2\nc3\n0\n");
+    EXPECT_THROW(parse_setfl(is), std::runtime_error);
+  }
+  {
+    // Truncated numeric body.
+    std::istringstream is("c1\nc2\nc3\n1 Fe\n10 0.1 10 0.1 5.0\n26 55.8 2.855 bcc\n1 2 3\n");
+    EXPECT_THROW(parse_setfl(is), std::runtime_error);
+  }
+  EXPECT_THROW(load_setfl("/nonexistent.setfl"), std::runtime_error);
+}
+
+TEST(Setfl, PhiSingularityClamped) {
+  const EamModel fe = EamModel::iron();
+  const SetflData d = setfl_from_model(fe, {"Fe"});
+  const EamTableSet t = tables_from_setfl(d, 1000, /*r_min=*/0.5);
+  // Below r_min the pair value saturates instead of diverging.
+  EXPECT_TRUE(std::isfinite(t.phi(0, 0).value(0.5)));
+  EXPECT_GT(t.phi(0, 0).value(0.5), 0.0);  // repulsive wall
+}
+
+}  // namespace
+}  // namespace mmd::pot

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "sunway/core_group.h"
+#include "sunway/dma.h"
+#include "sunway/local_store.h"
+#include "sunway/slave_pool.h"
+
+namespace mmd::sw {
+namespace {
+
+TEST(LocalStore, CapacityMatchesSunway) {
+  LocalStore s;
+  EXPECT_EQ(s.capacity(), 64u * 1024u);
+  EXPECT_EQ(s.used(), 0u);
+}
+
+TEST(LocalStore, BumpAllocation) {
+  LocalStore s(1024);
+  void* a = s.allocate(100);
+  ASSERT_NE(a, nullptr);
+  void* b = s.allocate(100);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_GE(s.used(), 200u);
+}
+
+TEST(LocalStore, FailsBeyondCapacity) {
+  LocalStore s(256);
+  EXPECT_NE(s.allocate(200), nullptr);
+  EXPECT_EQ(s.allocate(100), nullptr);  // does not fit
+  EXPECT_TRUE(s.fits(40));              // 200 aligns to 208; 208+40 <= 256
+  EXPECT_FALSE(s.fits(100));
+}
+
+TEST(LocalStore, TraditionalTableDoesNotFitCompactDoes) {
+  // The paper's core capacity argument: 5000x7 doubles = 273 KB does not fit
+  // a 64 KB local store; 5001 samples = 39 KB does.
+  LocalStore s;
+  EXPECT_FALSE(s.fits(5000 * 7 * sizeof(double)));
+  EXPECT_TRUE(s.fits(5001 * sizeof(double)));
+}
+
+TEST(LocalStore, ResetReclaims) {
+  LocalStore s(512);
+  ASSERT_NE(s.allocate(400), nullptr);
+  EXPECT_EQ(s.allocate(400), nullptr);
+  s.reset();
+  EXPECT_NE(s.allocate(400), nullptr);
+  EXPECT_GE(s.high_water_mark(), 400u);
+}
+
+TEST(LocalStore, TypedAllocationAlignment) {
+  LocalStore s(1024);
+  ASSERT_NE(s.allocate(1), nullptr);
+  double* d = s.allocate_array<double>(4);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(Dma, CountsOpsAndBytes) {
+  DmaEngine dma;
+  std::vector<double> main_mem(64, 1.5);
+  double local[64];
+  dma.get(local, main_mem.data(), 64 * sizeof(double));
+  EXPECT_EQ(dma.stats().get_ops, 1u);
+  EXPECT_EQ(dma.stats().get_bytes, 64u * sizeof(double));
+  EXPECT_DOUBLE_EQ(local[63], 1.5);
+  local[0] = 9.0;
+  dma.put(main_mem.data(), local, sizeof(double));
+  EXPECT_EQ(dma.stats().put_ops, 1u);
+  EXPECT_DOUBLE_EQ(main_mem[0], 9.0);
+}
+
+TEST(Dma, BatchedGetIsOneOp) {
+  DmaEngine dma;
+  std::vector<int> src(100);
+  std::iota(src.begin(), src.end(), 0);
+  int dst[20];
+  DmaEngine::Run runs[2] = {
+      {dst, src.data(), 10 * sizeof(int)},
+      {dst + 10, src.data() + 50, 10 * sizeof(int)},
+  };
+  dma.get_batched(runs, 2);
+  EXPECT_EQ(dma.stats().get_ops, 1u);
+  EXPECT_EQ(dma.stats().get_bytes, 20u * sizeof(int));
+  EXPECT_EQ(dst[0], 0);
+  EXPECT_EQ(dst[10], 50);
+}
+
+TEST(Dma, ModeledTimeFollowsCostModel) {
+  DmaCostModel cost{1e-6, 1e9};
+  DmaEngine dma(cost);
+  std::vector<char> buf(1000), local(1000);
+  dma.get(local.data(), buf.data(), 1000);
+  EXPECT_NEAR(dma.modeled_time(), 1e-6 + 1000.0 / 1e9, 1e-15);
+  dma.reset_stats();
+  EXPECT_EQ(dma.stats().total_ops(), 0u);
+  EXPECT_DOUBLE_EQ(dma.modeled_time(), 0.0);
+}
+
+TEST(Dma, AsyncCompletesEagerly) {
+  DmaEngine dma;
+  double a = 1.0, b = 0.0;
+  auto h = dma.get_async(&b, &a, sizeof(double));
+  EXPECT_DOUBLE_EQ(b, 1.0);
+  h.wait();
+  EXPECT_TRUE(h.done());
+}
+
+TEST(SlavePool, RunsEveryCore) {
+  SlaveCorePool pool(16, 4096);
+  std::vector<std::atomic<int>> hits(16);
+  pool.run([&](SlaveCtx& ctx) { hits[ctx.core_id].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+class SlavePoolParallelFor : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SlavePoolParallelFor, CoversAllTasksExactlyOnce) {
+  const std::size_t n = GetParam();
+  SlaveCorePool pool(8, 4096);
+  std::vector<std::atomic<int>> hits(n == 0 ? 1 : n);
+  pool.parallel_for(n, [&](SlaveCtx&, std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SlavePoolParallelFor,
+                         ::testing::Values(0, 1, 7, 8, 9, 64, 1000));
+
+TEST(SlavePool, PerCoreStoresAreIndependent) {
+  SlaveCorePool pool(4, 1024);
+  pool.run([&](SlaveCtx& ctx) {
+    // Each core can allocate its full store: no sharing.
+    EXPECT_NE(ctx.local_store->allocate(1000), nullptr);
+    EXPECT_EQ(ctx.local_store->allocate(1000), nullptr);
+  });
+  // run() resets stores between invocations.
+  pool.run([&](SlaveCtx& ctx) {
+    EXPECT_NE(ctx.local_store->allocate(1000), nullptr);
+  });
+}
+
+TEST(SlavePool, AggregatesDmaStats) {
+  SlaveCorePool pool(4, 4096);
+  std::vector<double> main_mem(8, 0.0);
+  pool.run([&](SlaveCtx& ctx) {
+    double x = 1.0;
+    ctx.dma->put(&main_mem[ctx.core_id], &x, sizeof(double));
+  });
+  EXPECT_EQ(pool.aggregate_dma_stats().put_ops, 4u);
+  pool.reset_stats();
+  EXPECT_EQ(pool.aggregate_dma_stats().put_ops, 0u);
+}
+
+TEST(CoreGroup, DefaultShapeIsSunway) {
+  CoreGroup cg;
+  EXPECT_EQ(cg.slaves().size(), 64u);
+  EXPECT_EQ(cg.config().local_store_bytes, 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace mmd::sw

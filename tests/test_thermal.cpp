@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/defects.h"
+#include "analysis/thermal.h"
+#include "md/engine.h"
+
+namespace mmd::analysis {
+namespace {
+
+TEST(ThermalProfile, RejectsBadArgs) {
+  md::MdConfig cfg;
+  lat::BccGeometry g(4, 4, 4, cfg.lattice_constant);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 4, 4, 4, 2}, 5.6);
+  lnl.fill_perfect(lat::Species::Fe);
+  EXPECT_THROW(thermal_profile(lnl, cfg, {0, 0, 0}, -1.0, 4), std::invalid_argument);
+  EXPECT_THROW(thermal_profile(lnl, cfg, {0, 0, 0}, 5.0, 0), std::invalid_argument);
+}
+
+TEST(ThermalProfile, UniformThermalBathIsFlat) {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.temperature = 600.0;
+  cfg.table_segments = 500;
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+    engine.initialize(comm);
+    const util::Vec3 center = setup.geo.box_length() * 0.5;
+    const auto prof = thermal_profile(engine.lattice(), cfg, center, 11.0, 4);
+    // Every shell near the initialization temperature (sampling noise grows
+    // in the small inner shells).
+    for (const auto& s : prof.shells) {
+      if (s.atoms < 30) continue;
+      EXPECT_NEAR(s.temperature, 600.0, 220.0) << s.r_lo;
+    }
+    EXPECT_NEAR(prof.mean_temperature(), 600.0, 100.0);
+  });
+}
+
+TEST(ThermalProfile, CascadeCoreIsHot) {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.temperature = 100.0;
+  cfg.table_segments = 500;
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+    engine.initialize(comm);
+    const lat::SiteCoord pka{4, 4, 4, 0};
+    engine.inject_pka(comm, setup.geo.site_id(pka), {1, 0.5, 0.25}, 80.0);
+    engine.run_for(comm, 0.004);  // early ballistic phase
+    const auto prof = thermal_profile(engine.lattice(), cfg,
+                                      setup.geo.position(pka), 11.0, 4);
+    // The cascade core is far above the 100 K bath.
+    EXPECT_GT(prof.core_temperature(), 1000.0);
+    // The outermost shell stays near the bath.
+    EXPECT_LT(prof.shells.back().temperature, 500.0);
+  });
+}
+
+TEST(ClusterPositions, DistanceCutoffGroups) {
+  const util::Vec3 box{20, 20, 20};
+  const std::vector<util::Vec3> pts{
+      {1, 1, 1}, {2, 1, 1}, {2.5, 1.5, 1}, {10, 10, 10}, {19.5, 1, 1}};
+  const auto s = cluster_positions(pts, box, 1.6);
+  // {1,2,2.5-chain + periodic 19.5 (1.5 away from x=1)} and the isolated one.
+  EXPECT_EQ(s.num_points, 5u);
+  EXPECT_EQ(s.num_clusters, 2u);
+  EXPECT_EQ(s.max_size, 4u);
+}
+
+TEST(ClusterPositions, EmptyInput) {
+  const auto s = cluster_positions({}, {10, 10, 10}, 2.0);
+  EXPECT_EQ(s.num_clusters, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_size, 0.0);
+}
+
+TEST(ClusterInterstitials, CountsRunaways) {
+  lat::BccGeometry g(6, 6, 6, 2.855);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 6, 6, 6, 2}, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  // Two adjacent detachments and one far away.
+  for (const lat::LocalCoord c :
+       {lat::LocalCoord{2, 2, 2, 0}, lat::LocalCoord{2, 2, 2, 1},
+        lat::LocalCoord{5, 5, 5, 0}}) {
+    lnl.detach(lnl.box().entry_index(c));
+  }
+  const auto s = cluster_interstitials(lnl);
+  EXPECT_EQ(s.num_points, 3u);
+  EXPECT_EQ(s.num_clusters, 2u);
+  EXPECT_EQ(s.max_size, 2u);
+}
+
+TEST(MixedMass, MomentumConservedWithCopper) {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  cfg.temperature = 400.0;
+  cfg.table_segments = 500;
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron_copper(cfg.lattice_constant, cfg.cutoff),
+      cfg.table_segments);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+    engine.initialize(comm);
+    engine.seed_solutes(comm, 0.15);
+    auto momentum = [&] {
+      util::Vec3 p{};
+      auto& lnl = engine.lattice();
+      for (std::size_t i : lnl.owned_indices()) {
+        const auto& e = lnl.entry(i);
+        if (e.is_atom()) p += e.v * cfg.mass_of(e.type);
+      }
+      return p;
+    };
+    const util::Vec3 p0 = momentum();
+    engine.run(comm, 20);
+    const util::Vec3 p1 = momentum();
+    EXPECT_NEAR((p1 - p0).norm(), 0.0, 1e-6 * std::max(1.0, p0.norm()));
+    // Mixed-mass kinetic energy is consistent with temperature accounting.
+    EXPECT_GT(engine.temperature(comm), 100.0);
+  });
+}
+
+}  // namespace
+}  // namespace mmd::analysis

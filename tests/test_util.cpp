@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+#include "util/units.h"
+#include "util/vec3.h"
+
+namespace mmd::util {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, Vec3(0.0, 2.5, 5.0));
+  EXPECT_EQ(a - b, Vec3(2.0, 1.5, 1.0));
+  EXPECT_EQ(a * 2.0, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, Vec3(-1.0, -2.0, -3.0));
+  EXPECT_DOUBLE_EQ(a.dot(b), -1.0 + 1.0 + 6.0);
+}
+
+TEST(Vec3, NormAndDistance) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Vec3{}, v), 5.0);
+  EXPECT_DOUBLE_EQ(distance2(Vec3{1, 1, 1}, Vec3{1, 1, 1}), 0.0);
+}
+
+TEST(Vec3, CrossProduct) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_EQ(x.cross(y), Vec3(0, 0, 1));
+  EXPECT_EQ(y.cross(x), Vec3(0, 0, -1));
+}
+
+TEST(Vec3, Normalized) {
+  const Vec3 v{0.0, 0.0, 7.5};
+  EXPECT_EQ(v.normalized(), Vec3(0, 0, 1));
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(v[0], 1);
+  EXPECT_DOUBLE_EQ(v[1], 2);
+  EXPECT_DOUBLE_EQ(v[2], 3);
+  v[1] = 9;
+  EXPECT_DOUBLE_EQ(v.y, 9);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, SplitIsDeterministicPerStream) {
+  // Two generators with the same seed derive identical streams for the same
+  // stream id — the property that makes per-atom streams rank-independent
+  // (every rank splits from a fresh generator seeded with the run seed).
+  Rng a(7), b(7);
+  Rng s1 = a.split(42);
+  Rng s2 = b.split(42);
+  EXPECT_EQ(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, DistinctStreams) {
+  Rng a(7);
+  Rng s1 = a.split(1), s2 = a.split(2);
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng r(5);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, UnitVectorIsUnit) {
+  Rng r(3);
+  RunningStats sx;
+  for (int i = 0; i < 20000; ++i) {
+    const Vec3 v = r.unit_vector();
+    ASSERT_NEAR(v.norm(), 1.0, 1e-12);
+    sx.add(v.x);
+  }
+  EXPECT_NEAR(sx.mean(), 0.0, 0.02);  // isotropy (first moment)
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = r.uniform_index(7);
+    ASSERT_LT(k, 7u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit
+}
+
+TEST(RunningStats, WelfordMatchesDirect) {
+  RunningStats s;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.75);
+  EXPECT_NEAR(s.variance(), 9.583333333333334, 1e-12);
+}
+
+TEST(Histogram, Totals) {
+  Histogram h;
+  h.add(1, 5);
+  h.add(3, 2);
+  h.add(10);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.weighted_total(), 5 + 6 + 10);
+  EXPECT_EQ(h.max_key(), 10);
+  EXPECT_NEAR(h.mean_key(), 21.0 / 8.0, 1e-12);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Units, ForceAccelConversionConsistency) {
+  // 1 eV/(A*amu) in A/ps^2, and its inverse used for kinetic energy.
+  EXPECT_NEAR(units::kForceToAccel * units::kVel2ToEnergy, 1.0, 1e-12);
+  // kB at room temperature ~ 0.0259 eV / 300 K.
+  EXPECT_NEAR(units::kBoltzmann * 300.0, 0.02585, 1e-4);
+}
+
+TEST(Timer, AccumulatesIntervals) {
+  AccumTimer t;
+  t.start();
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  t.stop();
+  EXPECT_GT(t.total(), 0.0);
+  const double after_first = t.total();
+  t.start();
+  t.stop();
+  EXPECT_GE(t.total(), after_first);
+  t.clear();
+  EXPECT_EQ(t.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmd::util
