@@ -87,6 +87,7 @@ int main() {
   std::printf("  %8s %18s %18s %10s %10s\n", "cores", "traditional [us]",
               "on-demand [us]", "speedup", "paper");
   std::vector<double> speedups;
+  std::vector<double> core_series, trad_us, ondemand_us;
   const double sites_per_rank_live =
       2.0 * cells * cells * cells / static_cast<double>(nranks);
   for (const std::uint64_t cores : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
@@ -110,11 +111,23 @@ int main() {
         static_cast<std::uint64_t>(per_rank_bytes_o), ranks) +
         model.network().collective_time(ranks);  // the one-sided fence
     speedups.push_back(t_trad / t_od);
+    core_series.push_back(static_cast<double>(cores));
+    trad_us.push_back(1e6 * t_trad);
+    ondemand_us.push_back(1e6 * t_od);
     std::printf("  %8s %18.2f %18.2f %9.1fx %9s\n",
                 bench::cores_str(cores).c_str(), 1e6 * t_trad, 1e6 * t_od,
                 t_trad / t_od, "21x");
   }
   std::printf("\n");
+  {
+    bench::FigureJson fj("fig13_kmc_comm_time");
+    fj.add_note("paper_speedup", "21x");
+    fj.add_series("cores", core_series);
+    fj.add_series("traditional_us", trad_us);
+    fj.add_series("ondemand_us", ondemand_us);
+    fj.add_series("speedup", speedups);
+    fj.write();
+  }
   bench::note("mean modeled speedup: %.1fx (paper: 21x on average)",
               util::geometric_mean(speedups));
   bench::note("measured in-process comm-time ratio: %.1fx",

@@ -31,7 +31,7 @@ DefectAnalysis match(const lat::BccGeometry& geo,
     p.vacancy = vacancies[best];
     p.interstitial = i_pos;
     p.separation = std::sqrt(best_d2);
-    out.separation.add_tracked(p.separation);
+    out.separation.add(p.separation);
     out.pairs.push_back(p);
   }
   out.unmatched_vacancies = static_cast<std::uint64_t>(

@@ -5,12 +5,27 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/session.h"
+
 namespace mmd::comm {
 
 namespace {
 
 bool matches(const Message& m, int src, int tag) {
   return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+}
+
+/// Fold this run's traffic delta into the telemetry registry (the registry is
+/// the durable home for comm accounting; RankTraffic stays the in-run,
+/// zero-overhead tally).
+void fold_traffic(telemetry::Session& session, int rank, const RankTraffic& before,
+                  const RankTraffic& after) {
+  auto& m = session.metrics();
+  m.add(rank, "comm.p2p.msgs", after.p2p_msgs_sent - before.p2p_msgs_sent);
+  m.add(rank, "comm.p2p.bytes", after.p2p_bytes_sent - before.p2p_bytes_sent);
+  m.add(rank, "comm.onesided.puts", after.onesided_puts - before.onesided_puts);
+  m.add(rank, "comm.onesided.bytes", after.onesided_bytes - before.onesided_bytes);
+  m.add(rank, "comm.collectives", after.collectives - before.collectives);
 }
 
 }  // namespace
@@ -29,11 +44,18 @@ void World::run(const std::function<void(Comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
+      telemetry::Session* session = telemetry::Session::current();
+      const RankTraffic before = traffic_[static_cast<std::size_t>(r)];
+      if (session != nullptr) session->tracer().attach_calling_thread(r);
       Comm comm(*this, r);
       try {
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      if (session != nullptr) {
+        fold_traffic(*session, r, before, traffic_[static_cast<std::size_t>(r)]);
+        telemetry::Tracer::detach_calling_thread();
       }
     });
   }

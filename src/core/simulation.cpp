@@ -1,8 +1,11 @@
 #include "core/simulation.h"
 
+#include <memory>
 #include <mutex>
 #include <sstream>
 
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace mmd::core {
@@ -64,6 +67,20 @@ SimulationReport Simulation::run() {
   const kmc::KmcConfig kmc_cfg = kmc_config_from(cfg_);
   const kmc::KmcSetup kmc_setup(kmc_cfg, cfg_.nranks);
 
+  // Record into the installed telemetry session if a driver provided one
+  // (mmd_run --trace-out/--metrics-out), otherwise spin up a private one so
+  // the report can always be populated from the registry.
+  std::unique_ptr<telemetry::Session> owned_session;
+  telemetry::Session* session = telemetry::Session::current();
+  if (session == nullptr) {
+    owned_session = std::make_unique<telemetry::Session>(cfg_.nranks);
+    session = owned_session.get();
+  }
+  // Counters in a driver-provided session may carry earlier runs; report
+  // deltas, not absolutes.
+  const std::uint64_t events_before =
+      session->metrics().aggregate().counter("kmc.events");
+
   comm::World world(cfg_.nranks);
   world.run([&](comm::Comm& comm) {
     util::Timer wall;
@@ -71,19 +88,24 @@ SimulationReport Simulation::run() {
     // --- MD stage: cascade-collision defect generation ---
     md::MdEngine md_engine(cfg_.md, md_setup.geo, md_setup.dd, md_tables_,
                            comm.rank());
-    md_engine.initialize(comm);
-    if (cfg_.solute_fraction > 0.0) {
-      md_engine.seed_solutes(comm, cfg_.solute_fraction);
+    {
+      MMD_TRACE_SCOPE("sim.md");
+      md_engine.initialize(comm);
+      if (cfg_.solute_fraction > 0.0) {
+        md_engine.seed_solutes(comm, cfg_.solute_fraction);
+      }
+      util::Rng rng(cfg_.md.seed ^ 0x7a3d5e9bull);
+      for (int p = 0; p < cfg_.pka_count; ++p) {
+        const auto site = static_cast<std::int64_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(md_setup.geo.num_sites())));
+        md_engine.inject_pka(comm, site, rng.unit_vector(), cfg_.pka_energy_ev);
+      }
+      md_engine.run_for(comm, cfg_.md_time_ps);
     }
-    util::Rng rng(cfg_.md.seed ^ 0x7a3d5e9bull);
-    for (int p = 0; p < cfg_.pka_count; ++p) {
-      const auto site = static_cast<std::int64_t>(
-          rng.uniform_index(static_cast<std::uint64_t>(md_setup.geo.num_sites())));
-      md_engine.inject_pka(comm, site, rng.unit_vector(), cfg_.pka_energy_ev);
-    }
-    md_engine.run_for(comm, cfg_.md_time_ps);
     const auto defects = md_engine.defects(comm);
-    const double md_wall = wall.elapsed();
+    telemetry::set_gauge("md.wall_seconds", wall.elapsed());
+    telemetry::set_gauge("md.compute_seconds", md_engine.computation_seconds());
+    telemetry::set_gauge("md.comm_seconds", md_engine.communication_seconds());
 
     // --- handoff: vacancy coordinates (and, for alloys, the solute
     // arrangement) become KMC sites ---
@@ -94,59 +116,65 @@ SimulationReport Simulation::run() {
     wall.reset();
     kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, kmc_tables_,
                               comm.rank(), cfg_.kmc_strategy);
-    if (cfg_.solute_fraction > 0.0) {
-      // Carry the Cu arrangement over: on-lattice mapping of each Cu atom
-      // (displaced atoms map to their nearest lattice site).
-      auto& lnl = md_engine.lattice();
-      for (std::size_t idx : lnl.owned_indices()) {
-        const lat::AtomEntry& e = lnl.entry(idx);
-        if (e.is_atom() && e.type == lat::Species::Cu) {
-          kmc_engine.model().set_state_global(lnl.site_rank(idx),
-                                              kmc::SiteState::Cu);
+    std::vector<std::int64_t> before;
+    std::vector<std::int64_t> after;
+    {
+      MMD_TRACE_SCOPE("sim.kmc");
+      if (cfg_.solute_fraction > 0.0) {
+        // Carry the Cu arrangement over: on-lattice mapping of each Cu atom
+        // (displaced atoms map to their nearest lattice site).
+        auto& lnl = md_engine.lattice();
+        for (std::size_t idx : lnl.owned_indices()) {
+          const lat::AtomEntry& e = lnl.entry(idx);
+          if (e.is_atom() && e.type == lat::Species::Cu) {
+            kmc_engine.model().set_state_global(lnl.site_rank(idx),
+                                                kmc::SiteState::Cu);
+          }
         }
+        lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+          const lat::RunawayAtom& a = lnl.runaway(ri);
+          if (a.type == lat::Species::Cu) {
+            const std::size_t host = lnl.nearest_owned_entry(a.r);
+            kmc_engine.model().set_state_global(lnl.site_rank(host),
+                                                kmc::SiteState::Cu);
+          }
+        });
       }
-      lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
-        const lat::RunawayAtom& a = lnl.runaway(ri);
-        if (a.type == lat::Species::Cu) {
-          const std::size_t host = lnl.nearest_owned_entry(a.r);
-          kmc_engine.model().set_state_global(lnl.site_rank(host),
-                                              kmc::SiteState::Cu);
-        }
-      });
+      kmc_engine.initialize_sites(comm, vac_sites);
+      before = kmc_engine.gather_vacancies(comm);
+      kmc_engine.run_cycles(comm, cfg_.kmc_cycles);
+      after = kmc_engine.gather_vacancies(comm);
     }
-    kmc_engine.initialize_sites(comm, vac_sites);
-    const auto before = kmc_engine.gather_vacancies(comm);
-    kmc_engine.run_cycles(comm, cfg_.kmc_cycles);
-    const auto after = kmc_engine.gather_vacancies(comm);
     const double c_mc = kmc_engine.vacancy_concentration(comm);
-    const auto events = comm.allreduce_sum_u64(kmc_engine.stats().events);
-    const double kmc_wall = wall.elapsed();
-
-    const double md_comp = comm.allreduce_max(md_engine.computation_seconds());
-    const double md_comm = comm.allreduce_max(md_engine.communication_seconds());
-    const double kmc_comp = comm.allreduce_max(kmc_engine.computation_seconds());
-    const double kmc_comm = comm.allreduce_max(kmc_engine.communication_seconds());
+    telemetry::set_gauge("kmc.wall_seconds", wall.elapsed());
+    telemetry::set_gauge("kmc.compute_seconds", kmc_engine.computation_seconds());
+    telemetry::set_gauge("kmc.comm_seconds", kmc_engine.communication_seconds());
 
     if (comm.rank() == 0) {
       std::lock_guard lk(report_mutex);
       report.md_defects = defects;
       report.clusters_after_md = kmc::cluster_vacancies(kmc_setup.geo, before);
       report.clusters_after_kmc = kmc::cluster_vacancies(kmc_setup.geo, after);
-      report.kmc_events = events;
       report.kmc_mc_time = kmc_engine.mc_time();
       report.vacancy_concentration = c_mc;
       report.real_time_days =
           kmc::real_time_scale(kmc_engine.mc_time(), c_mc, kmc_cfg.temperature) /
           86400.0;
-      report.md_seconds = md_wall;
-      report.kmc_seconds = kmc_wall;
-      report.md_compute_seconds = md_comp;
-      report.md_comm_seconds = md_comm;
-      report.kmc_compute_seconds = kmc_comp;
-      report.kmc_comm_seconds = kmc_comm;
       report.final_vacancies = after;
     }
   });
+
+  // Timing split and event totals come from the telemetry registry — the
+  // per-rank gauges/counters written above replace the old in-run allreduces
+  // (max over ranks = the critical path, exactly what the allreduce computed).
+  const auto agg = session->metrics().aggregate();
+  report.kmc_events = agg.counter("kmc.events") - events_before;
+  report.md_seconds = agg.gauge_maximum("md.wall_seconds");
+  report.kmc_seconds = agg.gauge_maximum("kmc.wall_seconds");
+  report.md_compute_seconds = agg.gauge_maximum("md.compute_seconds");
+  report.md_comm_seconds = agg.gauge_maximum("md.comm_seconds");
+  report.kmc_compute_seconds = agg.gauge_maximum("kmc.compute_seconds");
+  report.kmc_comm_seconds = agg.gauge_maximum("kmc.comm_seconds");
   return report;
 }
 

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
+
 namespace mmd::kmc {
 
 KmcSetup::KmcSetup(const KmcConfig& cfg, int nranks)
@@ -62,6 +65,7 @@ int KmcEngine::sector_of(const lat::LocalCoord& c) const {
 
 void KmcEngine::build_events(int sector, std::vector<Event>& out,
                              double* max_rate) {
+  MMD_TRACE_SCOPE("kmc.rates.build");
   out.clear();
   const lat::LocalBox& b = model_.box();
   std::vector<EventCandidate> candidates;
@@ -98,8 +102,13 @@ void KmcEngine::build_events(int sector, std::vector<Event>& out,
 
 void KmcEngine::process_sector(comm::Comm& comm, int sector, double dt,
                                std::uint64_t cycle) {
+  MMD_TRACE_SCOPE("kmc.sector");
+  const std::uint64_t events_before = stats_.events;
   comm_time_.start();
-  ghosts_.before_sector(comm, model_, sector);
+  {
+    MMD_TRACE_SCOPE("kmc.ghost.before");
+    ghosts_.before_sector(comm, model_, sector);
+  }
   comm_time_.stop();
 
   comp_.start();
@@ -163,8 +172,15 @@ void KmcEngine::process_sector(comm::Comm& comm, int sector, double dt,
   comp_.stop();
 
   comm_time_.start();
-  ghosts_.after_sector(comm, model_, sector, updates);
+  {
+    MMD_TRACE_SCOPE("kmc.ghost.after");
+    ghosts_.after_sector(comm, model_, sector, updates);
+  }
   comm_time_.stop();
+
+  const std::uint64_t executed = stats_.events - events_before;
+  if (executed > 0) telemetry::count("kmc.events", executed);
+  telemetry::observe("kmc.sector_events", static_cast<double>(executed));
 }
 
 std::uint64_t KmcEngine::run_cycles(comm::Comm& comm, int n) {
@@ -174,11 +190,16 @@ std::uint64_t KmcEngine::run_cycles(comm::Comm& comm, int n) {
                          std::exp(-cfg_.min_barrier /
                                   (util::units::kBoltzmann * cfg_.temperature));
   for (int i = 0; i < n; ++i) {
+    MMD_TRACE_SCOPE("kmc.cycle");
     // Time synchronization (paper: "collective operations used for time
     // synchronization"): dt derives from the fastest event seen globally in
     // the previous cycle, bounded by the analytic maximum.
     comm_time_.start();
-    double k_max = comm.allreduce_max(last_max_rate_);
+    double k_max = 0.0;
+    {
+      MMD_TRACE_SCOPE("kmc.dt_sync");
+      k_max = comm.allreduce_max(last_max_rate_);
+    }
     comm_time_.stop();
     if (k_max <= 0.0) k_max = k_bound;
     const double dt = cfg_.dt_scale / k_max;
@@ -188,6 +209,7 @@ std::uint64_t KmcEngine::run_cycles(comm::Comm& comm, int n) {
     }
     stats_.mc_time += dt;
     ++stats_.cycles;
+    telemetry::count("kmc.cycles");
   }
   return stats_.events - before;
 }

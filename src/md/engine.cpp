@@ -5,6 +5,8 @@
 
 #include "lattice/neighbor_offsets.h"
 #include "md/slave_force.h"
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
 
 namespace mmd::md {
 
@@ -92,6 +94,7 @@ void MdEngine::seed_solutes(comm::Comm& comm, double fraction,
 }
 
 void MdEngine::step(comm::Comm& comm) {
+  MMD_TRACE_SCOPE("md.step");
   // Adaptive step length: cap the fastest atom's displacement (collective so
   // every rank integrates with the same dt).
   double dt = cfg_.dt;
@@ -107,24 +110,31 @@ void MdEngine::step(comm::Comm& comm) {
     });
     comp_.stop();
     comm_time_.start();
-    const double v_max = std::sqrt(comm.allreduce_max(v2_max));
+    double v_max = 0.0;
+    {
+      MMD_TRACE_SCOPE("md.dt_sync");
+      v_max = std::sqrt(comm.allreduce_max(v2_max));
+    }
     comm_time_.stop();
     if (v_max * dt > cfg_.max_displacement) dt = cfg_.max_displacement / v_max;
   }
   const double kick0 = 0.5 * dt * util::units::kForceToAccel;
   comp_.start();
-  for (std::size_t idx : lnl_.owned_indices()) {
-    lat::AtomEntry& e = lnl_.entry(idx);
-    if (!e.is_atom()) continue;
-    e.v += e.f * (kick0 / cfg_.mass_of(e.type));
-    e.r += e.v * dt;
+  {
+    MMD_TRACE_SCOPE("md.integrate");
+    for (std::size_t idx : lnl_.owned_indices()) {
+      lat::AtomEntry& e = lnl_.entry(idx);
+      if (!e.is_atom()) continue;
+      e.v += e.f * (kick0 / cfg_.mass_of(e.type));
+      e.r += e.v * dt;
+    }
+    lnl_.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+      lat::RunawayAtom& a = lnl_.runaway(ri);
+      a.v += a.f * (kick0 / cfg_.mass_of(a.type));
+      a.r += a.v * dt;
+    });
+    time_ += dt;
   }
-  lnl_.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
-    lat::RunawayAtom& a = lnl_.runaway(ri);
-    a.v += a.f * (kick0 / cfg_.mass_of(a.type));
-    a.r += a.v * dt;
-  });
-  time_ += dt;
   comp_.stop();
 
   detach_and_rehome(comm);
@@ -155,6 +165,7 @@ void MdEngine::step(comm::Comm& comm) {
     a.v *= scale;
   });
   comp_.stop();
+  telemetry::count("md.steps");
 }
 
 void MdEngine::run(comm::Comm& comm, int steps) {
@@ -170,17 +181,23 @@ void MdEngine::detach_and_rehome(comm::Comm& comm) {
   comp_.start();
   const double thr2 = cfg_.detach_threshold * cfg_.detach_threshold;
   std::vector<lat::RunawayAtom> emigrants;
-  for (std::size_t idx : lnl_.owned_indices()) {
-    lat::AtomEntry& e = lnl_.entry(idx);
-    if (!e.is_atom()) continue;
-    if ((e.r - lnl_.ideal_position(idx)).norm2() > thr2) {
-      lnl_.detach(idx, &emigrants);
+  {
+    MMD_TRACE_SCOPE("md.rehome");
+    for (std::size_t idx : lnl_.owned_indices()) {
+      lat::AtomEntry& e = lnl_.entry(idx);
+      if (!e.is_atom()) continue;
+      if ((e.r - lnl_.ideal_position(idx)).norm2() > thr2) {
+        lnl_.detach(idx, &emigrants);
+      }
     }
+    lnl_.rehome_runaways(&emigrants);
   }
-  lnl_.rehome_runaways(&emigrants);
   comp_.stop();
   comm_time_.start();
-  ghosts_.exchange(comm, std::move(emigrants));
+  {
+    MMD_TRACE_SCOPE("md.ghost.exchange");
+    ghosts_.exchange(comm, std::move(emigrants));
+  }
   comm_time_.stop();
 }
 
@@ -188,20 +205,29 @@ void MdEngine::compute_all_forces(comm::Comm& comm) {
   // Ghost positions were refreshed by detach_and_rehome (or by initialize /
   // inject_pka); here: rho pass, rho exchange, force pass.
   comp_.start();
-  if (slave_ != nullptr) {
-    slave_->compute_rho(lnl_);
-  } else {
-    ref_force_.compute_rho(lnl_);
+  {
+    MMD_TRACE_SCOPE("md.force.rho");
+    if (slave_ != nullptr) {
+      slave_->compute_rho(lnl_);
+    } else {
+      ref_force_.compute_rho(lnl_);
+    }
   }
   comp_.stop();
   comm_time_.start();
-  ghosts_.exchange_rho(comm);
+  {
+    MMD_TRACE_SCOPE("md.ghost.rho");
+    ghosts_.exchange_rho(comm);
+  }
   comm_time_.stop();
   comp_.start();
-  if (slave_ != nullptr) {
-    slave_->compute_forces(lnl_);
-  } else {
-    ref_force_.compute_forces(lnl_);
+  {
+    MMD_TRACE_SCOPE("md.force.eam");
+    if (slave_ != nullptr) {
+      slave_->compute_forces(lnl_);
+    } else {
+      ref_force_.compute_forces(lnl_);
+    }
   }
   comp_.stop();
 }

@@ -12,8 +12,6 @@ namespace mmd::md {
 
 namespace {
 
-int sp(lat::Species s) { return static_cast<int>(s); }
-
 /// Window-local flat deltas for a block window of row length `row_cells`
 /// cells ((bx + 2h) cells per (dy,dz) row, wy = 2h+1 rows per axis).
 std::vector<std::int64_t> window_deltas(const std::vector<lat::SiteOffset>& offs,

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <thread>
 
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
+
 namespace mmd::sw {
 
 SlaveCorePool::SlaveCorePool(std::size_t num_slave_cores,
@@ -32,23 +35,59 @@ SlaveCorePool::~SlaveCorePool() = default;
 
 void SlaveCorePool::run(const std::function<void(SlaveCtx&)>& fn) {
   if (cores_.empty()) return;
+  // Telemetry: if the calling (rank) thread is attached to a tracer, each
+  // logical CPE records a span on its own lane of that rank's track group,
+  // tagged with the DMA traffic of this invocation; the rank thread folds the
+  // aggregate DMA delta into the metrics registry after the join (CPE worker
+  // threads never touch the single-writer rank slot).
+  telemetry::Tracer* tracer = telemetry::Tracer::calling_thread_tracer();
+  const telemetry::TrackId parent = telemetry::Tracer::calling_thread_track();
+  const bool tracing = tracer != nullptr && parent.rank >= 0 &&
+                       parent.lane == telemetry::Tracer::kMasterLane;
+  const int metrics_rank = telemetry::attached_metrics_rank();
+  const DmaStats dma_before = aggregate_dma_stats();
+
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < cores_.size();
          i = next.fetch_add(1)) {
       ctxs_[i]->local_store->reset();
-      fn(*ctxs_[i]);
+      if (tracing) {
+        tracer->attach_calling_thread(parent.rank, 1 + static_cast<int>(i));
+        const DmaStats d0 = cores_[i].dma->stats();
+        telemetry::ScopedSpan span("cpe.kernel");
+        fn(*ctxs_[i]);
+        const DmaStats d1 = cores_[i].dma->stats();
+        span.set_dma(d1.total_ops() - d0.total_ops(),
+                     d1.total_bytes() - d0.total_bytes());
+      } else {
+        fn(*ctxs_[i]);
+      }
     }
   };
   if (os_threads_ <= 1) {
     worker();
-    return;
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(os_threads_ - 1);
+    for (std::size_t t = 1; t < os_threads_; ++t) threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads) t.join();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(os_threads_ - 1);
-  for (std::size_t t = 1; t < os_threads_; ++t) threads.emplace_back(worker);
-  worker();
-  for (auto& t : threads) t.join();
+
+  if (tracing) {
+    // The calling thread ran worker() too and re-bound itself to CPE lanes;
+    // restore its master-lane binding before touching the registry.
+    tracer->attach_calling_thread(parent.rank, parent.lane);
+    if (metrics_rank >= 0) {
+      const DmaStats d = aggregate_dma_stats();
+      auto& m = telemetry::Session::current()->metrics();
+      m.add(metrics_rank, "sw.dma.get_ops", d.get_ops - dma_before.get_ops);
+      m.add(metrics_rank, "sw.dma.put_ops", d.put_ops - dma_before.put_ops);
+      m.add(metrics_rank, "sw.dma.get_bytes", d.get_bytes - dma_before.get_bytes);
+      m.add(metrics_rank, "sw.dma.put_bytes", d.put_bytes - dma_before.put_bytes);
+    }
+  }
 }
 
 void SlaveCorePool::parallel_for(

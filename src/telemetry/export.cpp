@@ -1,0 +1,171 @@
+#include "telemetry/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace mmd::telemetry {
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (int i = 0; i < tracer.num_tracks(); ++i) {
+    const Tracer::Track* t = tracer.track(i);
+    if (t == nullptr || t->recorded == 0) continue;
+    // Metadata: pid = rank, tid = lane, labelled for the trace viewer.
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << t->rank
+       << ",\"tid\":0,\"args\":{\"name\":\"rank " << t->rank << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << t->rank
+       << ",\"tid\":" << t->lane << ",\"args\":{\"name\":\""
+       << (t->lane == Tracer::kMasterLane
+               ? std::string("master")
+               : "cpe " + std::to_string(t->lane - 1))
+       << "\"}}";
+    for (std::size_t e = 0; e < t->live(); ++e) {
+      const TraceEvent& ev = t->ring[e];
+      sep();
+      os << "{\"ph\":\"X\",\"name\":";
+      write_escaped(os, ev.name != nullptr ? ev.name : "?");
+      os << ",\"pid\":" << t->rank << ",\"tid\":" << t->lane << ",\"ts\":" << us(ev.t0_ns)
+         << ",\"dur\":" << us(ev.t1_ns - ev.t0_ns);
+      if (ev.dma_ops != 0 || ev.dma_bytes != 0) {
+        os << ",\"args\":{\"dma_ops\":" << ev.dma_ops
+           << ",\"dma_bytes\":" << ev.dma_bytes << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << tracer.total_dropped() << "}}\n";
+}
+
+namespace {
+
+void write_slot(std::ostream& os, const MetricsRegistry::RankSlot& slot) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : slot.counters) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : slot.gauges) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":" << v;
+  }
+  os << "},\"distributions\":{";
+  first = true;
+  for (const auto& [name, s] : slot.dists) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":{\"count\":" << s.count() << ",\"mean\":" << s.mean()
+       << ",\"min\":" << s.min() << ",\"max\":" << s.max()
+       << ",\"variance\":" << s.variance() << "}";
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
+  const MetricsRegistry::Aggregate agg = registry.aggregate();
+  os << "{\"nranks\":" << registry.nranks() << ",\"aggregate\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : agg.counters) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":" << v;
+  }
+  os << "},\"gauge_max\":{";
+  first = true;
+  for (const auto& [name, v] : agg.gauge_max) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":" << v;
+  }
+  os << "},\"gauge_sum\":{";
+  first = true;
+  for (const auto& [name, v] : agg.gauge_sum) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":" << v;
+  }
+  os << "},\"distributions\":{";
+  first = true;
+  for (const auto& [name, s] : agg.dists) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":{\"count\":" << s.count() << ",\"mean\":" << s.mean()
+       << ",\"min\":" << s.min() << ",\"max\":" << s.max()
+       << ",\"variance\":" << s.variance() << "}";
+  }
+  os << "}},\"ranks\":[";
+  for (int r = 0; r < registry.nranks(); ++r) {
+    if (r > 0) os << ",";
+    os << "\n";
+    write_slot(os, registry.rank(r));
+  }
+  os << "]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, tracer);
+  return static_cast<bool>(os);
+}
+
+bool write_metrics_json_file(const std::string& path, const MetricsRegistry& registry) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_metrics_json(os, registry);
+  return static_cast<bool>(os);
+}
+
+}  // namespace mmd::telemetry

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace mmd::telemetry {
+
+class MetricsRegistry;
+class Tracer;
+
+/// Chrome-trace JSON ("traceEvents" array of complete events): loads in
+/// chrome://tracing and in Perfetto (ui.perfetto.dev). One process per rank,
+/// one thread per lane (master core = tid 0, CPEs = tid 1..64). Spans carry
+/// their DMA traffic as args when nonzero.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Flat metrics JSON: the cross-rank aggregate (counter sums, gauge max/sum,
+/// merged distributions) followed by every rank's raw slot. Schema in
+/// docs/OBSERVABILITY.md.
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
+
+/// File-writing convenience wrappers; return false (and write nothing else)
+/// if the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+bool write_metrics_json_file(const std::string& path, const MetricsRegistry& registry);
+
+}  // namespace mmd::telemetry

@@ -1,0 +1,79 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmd::telemetry {
+
+MetricsRegistry::MetricsRegistry(int nranks)
+    : slots_(static_cast<std::size_t>(nranks)) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("MetricsRegistry requires at least one rank");
+  }
+}
+
+void MetricsRegistry::add(int rank, std::string_view name, std::uint64_t v) {
+  if (rank < 0 || rank >= nranks()) return;
+  auto& counters = slots_[static_cast<std::size_t>(rank)].counters;
+  const auto it = counters.find(name);
+  if (it != counters.end()) {
+    it->second += v;
+  } else {
+    counters.emplace(std::string(name), v);
+  }
+}
+
+void MetricsRegistry::set_gauge(int rank, std::string_view name, double v) {
+  if (rank < 0 || rank >= nranks()) return;
+  auto& gauges = slots_[static_cast<std::size_t>(rank)].gauges;
+  const auto it = gauges.find(name);
+  if (it != gauges.end()) {
+    it->second = v;
+  } else {
+    gauges.emplace(std::string(name), v);
+  }
+}
+
+void MetricsRegistry::observe(int rank, std::string_view name, double x) {
+  if (rank < 0 || rank >= nranks()) return;
+  auto& dists = slots_[static_cast<std::size_t>(rank)].dists;
+  auto it = dists.find(name);
+  if (it == dists.end()) {
+    it = dists.emplace(std::string(name), util::RunningStats{}).first;
+  }
+  it->second.add(x);
+}
+
+MetricsRegistry::Aggregate MetricsRegistry::aggregate() const {
+  Aggregate agg;
+  for (const RankSlot& slot : slots_) {
+    for (const auto& [name, v] : slot.counters) agg.counters[name] += v;
+    for (const auto& [name, v] : slot.gauges) {
+      const auto it = agg.gauge_max.find(name);
+      if (it == agg.gauge_max.end()) {
+        agg.gauge_max.emplace(name, v);
+      } else {
+        it->second = std::max(it->second, v);
+      }
+      agg.gauge_sum[name] += v;
+    }
+    for (const auto& [name, s] : slot.dists) agg.dists[name].merge(s);
+  }
+  return agg;
+}
+
+void MetricsRegistry::reset() {
+  for (RankSlot& slot : slots_) slot = RankSlot{};
+}
+
+std::uint64_t MetricsRegistry::Aggregate::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::Aggregate::gauge_maximum(std::string_view name) const {
+  const auto it = gauge_max.find(std::string(name));
+  return it == gauge_max.end() ? 0.0 : it->second;
+}
+
+}  // namespace mmd::telemetry

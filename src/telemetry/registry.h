@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace mmd::telemetry {
+
+/// Named counters, gauges, and RunningStats-backed distributions, one slot
+/// per rank.
+///
+/// Concurrency contract (same single-writer discipline as comm::RankTraffic):
+/// a rank's slot is only ever written by the thread running that rank, so the
+/// hot path takes no locks; `aggregate()` and the per-rank read accessors are
+/// only valid after the writer threads joined (e.g. after World::run()
+/// returns). Out-of-range ranks are dropped silently so instrumented library
+/// code never has to check whether telemetry is sized for the current world.
+class MetricsRegistry {
+ public:
+  struct RankSlot {
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, util::RunningStats, std::less<>> dists;
+  };
+
+  /// Cross-rank roll-up: counters sum, gauges keep both the max over ranks
+  /// (critical path, e.g. compute seconds) and the sum (capacity, e.g.
+  /// modeled DMA time), distributions merge exactly (Chan's parallel
+  /// variance update in RunningStats::merge).
+  struct Aggregate {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauge_max;
+    std::map<std::string, double> gauge_sum;
+    std::map<std::string, util::RunningStats> dists;
+
+    std::uint64_t counter(std::string_view name) const;
+    double gauge_maximum(std::string_view name) const;
+  };
+
+  explicit MetricsRegistry(int nranks);
+
+  int nranks() const { return static_cast<int>(slots_.size()); }
+
+  // --- write side (owning rank thread only) ---
+  void add(int rank, std::string_view name, std::uint64_t v = 1);
+  void set_gauge(int rank, std::string_view name, double v);
+  void observe(int rank, std::string_view name, double x);
+
+  // --- read side (after writers joined) ---
+  const RankSlot& rank(int r) const { return slots_[static_cast<std::size_t>(r)]; }
+  Aggregate aggregate() const;
+  void reset();
+
+ private:
+  std::vector<RankSlot> slots_;
+};
+
+}  // namespace mmd::telemetry

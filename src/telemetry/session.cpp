@@ -1,0 +1,54 @@
+#include "telemetry/session.h"
+
+#include <atomic>
+
+namespace mmd::telemetry {
+
+namespace {
+
+std::atomic<Session*> g_current{nullptr};
+
+}  // namespace
+
+Session::Session(int nranks) : Session(nranks, Options{}) {}
+
+Session::Session(int nranks, Options opt)
+    : metrics_(nranks),
+      tracer_(nranks, opt.lanes_per_rank, opt.events_per_track) {
+  Session* expected = nullptr;
+  installed_ = g_current.compare_exchange_strong(expected, this);
+}
+
+Session::~Session() {
+  if (installed_) {
+    Session* expected = this;
+    g_current.compare_exchange_strong(expected, nullptr);
+  }
+}
+
+Session* Session::current() { return g_current.load(std::memory_order_acquire); }
+
+int attached_metrics_rank() {
+  Session* s = Session::current();
+  if (s == nullptr) return -1;
+  if (Tracer::calling_thread_tracer() != &s->tracer()) return -1;
+  const TrackId id = Tracer::calling_thread_track();
+  return id.lane == Tracer::kMasterLane ? id.rank : -1;
+}
+
+void count(std::string_view name, std::uint64_t v) {
+  const int rank = attached_metrics_rank();
+  if (rank >= 0) Session::current()->metrics().add(rank, name, v);
+}
+
+void set_gauge(std::string_view name, double v) {
+  const int rank = attached_metrics_rank();
+  if (rank >= 0) Session::current()->metrics().set_gauge(rank, name, v);
+}
+
+void observe(std::string_view name, double x) {
+  const int rank = attached_metrics_rank();
+  if (rank >= 0) Session::current()->metrics().observe(rank, name, x);
+}
+
+}  // namespace mmd::telemetry

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace mmd::telemetry {
+
+/// One run's worth of telemetry: a phase tracer plus a metrics registry,
+/// sized for a fixed number of ranks.
+///
+/// The first Session constructed installs itself as the process-wide
+/// *current* session (RAII: the destructor uninstalls it). Instrumented code
+/// all over the stack — comm::World, the MD/KMC engines, sw::SlaveCorePool —
+/// reaches the current session through `Session::current()` and the free
+/// helpers below, so enabling telemetry for any driver is one line:
+///
+///   telemetry::Session session(nranks);
+///   ... run ...
+///   telemetry::write_chrome_trace_file("trace.json", session.tracer());
+///
+/// When no session is installed every instrumentation point is a cheap no-op.
+class Session {
+ public:
+  struct Options {
+    /// Track lanes per rank: master core + the 64 CPEs of one core group.
+    int lanes_per_rank = 65;
+    /// Ring capacity per track; oldest spans are overwritten on overflow.
+    std::size_t events_per_track = 1 << 14;
+  };
+
+  explicit Session(int nranks);
+  Session(int nranks, Options opt);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Whether this session won the race to become the process-wide one (a
+  /// nested session stays usable through explicit references but is not
+  /// reachable via current()).
+  bool installed() const { return installed_; }
+
+  static Session* current();
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  bool installed_;
+};
+
+/// Rank of the calling thread if it is attached to the current session's
+/// tracer on the master lane; -1 otherwise. Metrics slots are single-writer,
+/// so only master-lane threads may write them — CPE worker threads must fold
+/// their contributions through the owning rank thread (see SlaveCorePool).
+int attached_metrics_rank();
+
+/// Hot-path helpers against the current session; no-ops when no session is
+/// installed or the calling thread is not attached at the master lane.
+void count(std::string_view name, std::uint64_t v = 1);
+void set_gauge(std::string_view name, double v);
+void observe(std::string_view name, double x);
+
+}  // namespace mmd::telemetry

@@ -7,14 +7,34 @@
 
 namespace mmd::util {
 
-/// Online mean/variance accumulator (Welford).
+/// Online mean/variance accumulator (Welford), with min/max tracking.
 class RunningStats {
  public:
   void add(double x) {
+    if (n_ == 0 || x < min_) min_ = x;
+    if (n_ == 0 || x > max_) max_ = x;
     ++n_;
     const double d = x - mean_;
     mean_ += d / static_cast<double>(n_);
     m2_ += d * (x - mean_);
+  }
+
+  /// Fold another accumulator in (Chan's parallel update), as if every sample
+  /// of `o` had been add()ed here. Used for cross-rank aggregation.
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double d = o.mean_ - mean_;
+    m2_ += o.m2_ + d * d * na * nb / (na + nb);
+    mean_ += d * nb / (na + nb);
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
   }
 
   std::size_t count() const { return n_; }
@@ -22,12 +42,6 @@ class RunningStats {
   double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
   double min() const { return min_; }
   double max() const { return max_; }
-
-  void add_tracked(double x) {
-    if (n_ == 0 || x < min_) min_ = x;
-    if (n_ == 0 || x > max_) max_ = x;
-    add(x);
-  }
 
  private:
   std::size_t n_ = 0;

@@ -23,9 +23,17 @@ class Timer {
 
 /// Accumulates wall time across multiple start/stop intervals; used to split
 /// computation time from communication time in the scaling benches.
+///
+/// Interval discipline: `start()` while an interval is already open closes it
+/// first (the open time is accumulated, never discarded); `stop()` without a
+/// matching `start()` is a documented no-op.
 class AccumTimer {
  public:
-  void start() { t_.reset(); running_ = true; }
+  void start() {
+    if (running_) total_ += t_.elapsed();
+    t_.reset();
+    running_ = true;
+  }
 
   void stop() {
     if (running_) {

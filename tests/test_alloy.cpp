@@ -160,7 +160,9 @@ TEST(AlloyKmc, SolutesSeededAndConserved) {
     const auto vacs = engine.gather_vacancies(comm);
     const auto n = comm.allreduce_sum_u64(
         static_cast<std::uint64_t>(engine.model().count_owned_vacancies()));
-    if (comm.rank() == 0) EXPECT_EQ(vacs.size(), n);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(vacs.size(), n);
+    }
   });
 }
 

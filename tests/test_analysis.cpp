@@ -39,7 +39,9 @@ TEST(Rdf, PerfectBccPeaksAtFirstShell) {
   EXPECT_NEAR(rdf.first_peak(), std::sqrt(3.0) / 2.0 * kA, 0.06);
   // No pairs below the first shell.
   for (const auto& b : rdf.result()) {
-    if (b.r_hi < 2.3) EXPECT_DOUBLE_EQ(b.g, 0.0) << b.r_lo;
+    if (b.r_hi < 2.3) {
+      EXPECT_DOUBLE_EQ(b.g, 0.0) << b.r_lo;
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "comm/world.h"
@@ -256,6 +258,69 @@ TEST_P(CommGather, BroadcastDeliversRootData) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, CommGather, ::testing::Values(1, 2, 5));
+
+TEST(PutWindow, ConcurrentAppendsThenDrainAccountsEveryByte) {
+  // Every rank deposits records into every inbox (including its own) from its
+  // own thread; after the fence each owner drains exactly the bytes addressed
+  // to it, whatever interleaving the appends took.
+  constexpr int kRanks = 6;
+  constexpr int kRecordsPerPair = 50;
+  World w(kRanks);
+  std::vector<std::vector<std::uint64_t>> drained(kRanks);
+  w.run([&](Comm& c) {
+    auto win = c.create_window();
+    for (int target = 0; target < c.size(); ++target) {
+      for (int k = 0; k < kRecordsPerPair; ++k) {
+        // Record encodes (source, target, k) so ordering never matters.
+        const std::uint64_t rec =
+            (static_cast<std::uint64_t>(c.rank()) << 32) |
+            (static_cast<std::uint64_t>(target) << 16) |
+            static_cast<std::uint64_t>(k);
+        c.put(*win, target, std::span<const std::uint64_t>(&rec, 1));
+      }
+    }
+    c.barrier();  // fence: all puts land before any drain
+    drained[static_cast<std::size_t>(c.rank())] = c.drain<std::uint64_t>(*win);
+  });
+
+  std::uint64_t total_records = 0;
+  for (int me = 0; me < kRanks; ++me) {
+    const auto& recs = drained[static_cast<std::size_t>(me)];
+    ASSERT_EQ(recs.size(), static_cast<std::size_t>(kRanks) * kRecordsPerPair)
+        << "rank " << me;
+    total_records += recs.size();
+    // Ordering-agnostic accounting: every (source, k) pair arrives exactly
+    // once, and every record was addressed to this rank.
+    std::set<std::pair<int, int>> seen;
+    for (const std::uint64_t rec : recs) {
+      const int src = static_cast<int>(rec >> 32);
+      const int target = static_cast<int>((rec >> 16) & 0xffff);
+      const int k = static_cast<int>(rec & 0xffff);
+      EXPECT_EQ(target, me);
+      EXPECT_TRUE(seen.emplace(src, k).second) << "duplicate record";
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kRanks) * kRecordsPerPair);
+  }
+  // The traffic counters agree with what was drained.
+  EXPECT_EQ(w.total_traffic().onesided_puts, total_records);
+  EXPECT_EQ(w.total_traffic().onesided_bytes, total_records * sizeof(std::uint64_t));
+}
+
+TEST(PutWindow, DrainIsDestructive) {
+  World w(2);
+  w.run([](Comm& c) {
+    auto win = c.create_window();
+    if (c.rank() == 0) {
+      const std::uint32_t x = 7;
+      c.put(*win, 1, std::span<const std::uint32_t>(&x, 1));
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      EXPECT_EQ(c.drain<std::uint32_t>(*win).size(), 1u);
+      EXPECT_TRUE(c.drain<std::uint32_t>(*win).empty());
+    }
+  });
+}
 
 TEST(Pack, RoundTrip) {
   struct Rec {

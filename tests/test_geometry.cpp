@@ -43,7 +43,9 @@ TEST_P(GeometryRoundTrip, RankOrderIsSpatial) {
   BccGeometry g(nx, ny, nz, kA);
   EXPECT_EQ(g.site_id({0, 0, 0, 0}), 0);
   EXPECT_EQ(g.site_id({0, 0, 0, 1}), 1);
-  if (nx > 1) EXPECT_EQ(g.site_id({1, 0, 0, 0}), 2);
+  if (nx > 1) {
+    EXPECT_EQ(g.site_id({1, 0, 0, 0}), 2);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Boxes, GeometryRoundTrip,

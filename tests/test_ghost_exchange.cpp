@@ -22,7 +22,7 @@ struct Fixture {
 
 /// Ghost entries must mirror the owner's data, with positions shifted by the
 /// box length across the periodic boundary.
-void check_ghosts_consistent(const BccGeometry& geo, LatticeNeighborList& lnl) {
+void check_ghosts_consistent(const BccGeometry& /*geo*/, LatticeNeighborList& lnl) {
   const LocalBox& b = lnl.box();
   for (std::size_t i = 0; i < lnl.size(); ++i) {
     const LocalCoord c = b.coord_of(i);

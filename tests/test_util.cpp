@@ -131,6 +131,42 @@ TEST(RunningStats, WelfordMatchesDirect) {
   EXPECT_NEAR(s.variance(), 9.583333333333334, 1e-12);
 }
 
+TEST(RunningStats, AddTracksMinMax) {
+  // add() maintains min/max itself — there is no separate tracked variant to
+  // forget to call.
+  RunningStats s;
+  s.add(-2.0);
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  RunningStats negatives;
+  negatives.add(-3.0);
+  EXPECT_DOUBLE_EQ(negatives.min(), -3.0);
+  EXPECT_DOUBLE_EQ(negatives.max(), -3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0, -1.0, 3.5};
+  for (int i = 0; i < 6; ++i) {
+    (i < 3 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+
+  RunningStats empty;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), all.count());
+  empty.merge(a);  // adopt
+  EXPECT_NEAR(empty.mean(), all.mean(), 1e-12);
+}
+
 TEST(Histogram, Totals) {
   Histogram h;
   h.add(1, 5);
@@ -168,6 +204,31 @@ TEST(Timer, AccumulatesIntervals) {
   EXPECT_GE(t.total(), after_first);
   t.clear();
   EXPECT_EQ(t.total(), 0.0);
+}
+
+TEST(Timer, StopWithoutStartIsNoop) {
+  AccumTimer t;
+  t.stop();
+  EXPECT_EQ(t.total(), 0.0);
+  t.start();
+  t.stop();
+  t.stop();  // second stop: interval already closed, still a no-op
+  const double closed = t.total();
+  EXPECT_EQ(t.total(), closed);
+}
+
+TEST(Timer, RestartAccumulatesOpenInterval) {
+  // start() on a running timer must fold the open interval into the total
+  // (historically it silently discarded it).
+  AccumTimer t;
+  t.start();
+  Timer ref;
+  volatile double x = 0;
+  for (int i = 0; i < 200000; ++i) x = x + 1.0;
+  const double open_for_at_least = ref.elapsed();
+  t.start();  // restart: the interval above must not be lost
+  t.stop();
+  EXPECT_GE(t.total(), open_for_at_least);
 }
 
 }  // namespace

@@ -3,7 +3,13 @@
 // key=value file, with optional XYZ trajectory output for visualization.
 //
 //   mmd_run config.mmd
+//   mmd_run config.mmd --trace-out=trace.json --metrics-out=metrics.json
 //   mmd_run --print-defaults > config.mmd
+//
+// --trace-out writes a Chrome-trace JSON (load in chrome://tracing or
+// ui.perfetto.dev) with per-rank MD/KMC phase spans; --metrics-out writes the
+// flat metrics JSON (comm volumes, DMA traffic, timing split). See
+// docs/OBSERVABILITY.md.
 //
 // Example configuration:
 //
@@ -20,8 +26,11 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/simulation.h"
+#include "telemetry/export.h"
+#include "telemetry/session.h"
 #include "util/key_value.h"
 
 using namespace mmd;
@@ -56,19 +65,38 @@ kmc::GhostStrategy parse_strategy(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::string(argv[1]) == "--print-defaults") {
-    print_defaults();
-    return 0;
+  std::string config_path;
+  std::string trace_out;
+  std::string metrics_out;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-defaults") {
+      print_defaults();
+      return 0;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage_error = true;
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      usage_error = true;
+    }
   }
-  if (argc != 2) {
+  if (usage_error || config_path.empty()) {
     std::fprintf(stderr,
-                 "usage: mmd_run <config-file>\n"
+                 "usage: mmd_run <config-file> [--trace-out=FILE] "
+                 "[--metrics-out=FILE]\n"
                  "       mmd_run --print-defaults\n");
     return 2;
   }
 
   try {
-    const auto cfg_file = util::KeyValueConfig::parse_file(argv[1]);
+    const auto cfg_file = util::KeyValueConfig::parse_file(config_path);
 
     core::SimulationConfig cfg;
     const auto box = static_cast<int>(cfg_file.get_int("box", 10));
@@ -97,9 +125,26 @@ int main(int argc, char** argv) {
 
     std::printf("mmd_run: %d^3 cells (%d atoms), %d ranks, T = %.0f K\n", box,
                 2 * box * box * box, cfg.nranks, cfg.md.temperature);
+    telemetry::Session session(cfg.nranks);
     core::Simulation sim(cfg);
     const auto report = sim.run();
     std::printf("%s\n", core::to_string(report).c_str());
+
+    if (!trace_out.empty()) {
+      if (!telemetry::write_chrome_trace_file(trace_out, session.tracer())) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (Chrome trace; load in chrome://tracing or Perfetto)\n",
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      if (!telemetry::write_metrics_json_file(metrics_out, session.metrics())) {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (metrics registry)\n", metrics_out.c_str());
+    }
 
     if (!xyz_path.empty()) {
       // Final vacancy field as pseudo-atom XYZ for OVITO/VMD.
