@@ -1,9 +1,13 @@
 #include "core/simulation.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <sstream>
 
+#include "io/checkpoint.h"
+#include "io/checkpoint_store.h"
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
 #include "util/timer.h"
@@ -24,6 +28,59 @@ kmc::KmcConfig kmc_config_from(const SimulationConfig& cfg) {
   k.dt_scale = cfg.kmc_dt_scale;
   k.table_segments = cfg.kmc_table_segments;
   return k;
+}
+
+/// Collective: write one checkpoint epoch (per-rank file, then a manifest
+/// commit on rank 0 once every rank's write landed). A failed write on any
+/// rank abandons the epoch — the run degrades to the previous good one
+/// instead of aborting.
+void save_checkpoint_epoch(comm::Comm& comm, io::CheckpointStore& store,
+                           const SimulationConfig& cfg, std::uint64_t epoch,
+                           md::MdEngine& md_engine, kmc::KmcEngine& kmc_engine) {
+  MMD_TRACE_SCOPE("sim.checkpoint");
+  util::Timer t;
+  std::ostringstream os;
+  io::Checkpoint::write_file_header(os);
+  io::Checkpoint::MetaState meta;
+  meta.rank = comm.rank();
+  meta.nranks = comm.size();
+  meta.seed = cfg.md.seed;
+  meta.md_time_ps = md_engine.simulated_time();
+  const kmc::KmcEngineState st = kmc_engine.engine_state();
+  meta.kmc_cycles = st.cycles;
+  meta.kmc_events = st.events;
+  meta.kmc_mc_time = st.mc_time;
+  meta.kmc_last_max_rate = st.last_max_rate;
+  meta.kmc_rng_state = st.rng_state;
+  io::Checkpoint::write_meta_section(os, meta);
+  io::Checkpoint::write_md_section(os, md_engine.lattice(),
+                                   md_engine.simulated_time());
+  io::Checkpoint::write_kmc_section(os, kmc_engine.model(), st.mc_time);
+  const std::string blob = os.str();
+  const bool ok = store.write_rank_blob(epoch, comm.rank(), blob);
+  telemetry::count("ckpt.bytes", blob.size());
+  telemetry::observe("ckpt.write_seconds", t.elapsed());
+  const std::uint64_t failures = comm.allreduce_sum_u64(ok ? 0u : 1u);
+  if (failures == 0) {
+    if (comm.rank() == 0) {
+      if (store.commit_epoch(epoch)) {
+        telemetry::count("ckpt.epochs");
+      } else {
+        telemetry::count("ckpt.failed_epochs");
+      }
+    }
+  } else {
+    store.discard_rank_blob(epoch, comm.rank());
+    if (comm.rank() == 0) {
+      telemetry::count("ckpt.failed_epochs");
+      std::fprintf(stderr,
+                   "mmd: checkpoint epoch %llu failed on %llu rank(s); "
+                   "keeping the previous epoch\n",
+                   static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(failures));
+    }
+  }
+  comm.barrier();
 }
 
 }  // namespace
@@ -81,14 +138,90 @@ SimulationReport Simulation::run() {
   const std::uint64_t events_before =
       session->metrics().aggregate().counter("kmc.events");
 
+  std::unique_ptr<io::CheckpointStore> store;
+  if (!cfg_.checkpoint_dir.empty()) {
+    store = std::make_unique<io::CheckpointStore>(cfg_.checkpoint_dir,
+                                                  cfg_.nranks);
+    store->set_keep_epochs(cfg_.checkpoint_keep);
+    store->set_fault_injector(cfg_.fault_injector);
+  }
+  // Resume candidates, newest first; every rank tries them in lock step.
+  std::vector<std::uint64_t> resume_epochs;
+  if (store != nullptr && cfg_.resume) {
+    resume_epochs = store->committed_epochs();
+    std::reverse(resume_epochs.begin(), resume_epochs.end());
+  }
+
   comm::World world(cfg_.nranks);
   world.run([&](comm::Comm& comm) {
     util::Timer wall;
 
-    // --- MD stage: cascade-collision defect generation ---
     md::MdEngine md_engine(cfg_.md, md_setup.geo, md_setup.dd, md_tables_,
                            comm.rank());
-    {
+    kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, kmc_tables_,
+                              comm.rank(), cfg_.kmc_strategy);
+
+    // --- resume: an epoch is adopted only when EVERY rank validates its
+    // file; otherwise all ranks fall back to the next older epoch together.
+    bool restored = false;
+    std::uint64_t restored_cycles = 0;
+    for (const std::uint64_t epoch : resume_epochs) {
+      io::Checkpoint::MetaState meta;
+      bool ok = true;
+      std::string error;
+      try {
+        const auto blob = store->read_rank_blob(epoch, comm.rank());
+        if (!blob) throw std::runtime_error("missing rank file");
+        std::istringstream is(*blob);
+        io::Checkpoint::read_file_header(is);
+        meta = io::Checkpoint::read_meta_section(is);
+        if (meta.rank != comm.rank() || meta.nranks != comm.size() ||
+            meta.seed != cfg_.md.seed) {
+          throw std::runtime_error(
+              "checkpoint was written by a different run configuration");
+        }
+        md_engine.set_simulated_time(
+            io::Checkpoint::read_md_section(is, md_engine.lattice()));
+        io::Checkpoint::read_kmc_section(is, kmc_engine.model());
+      } catch (const std::exception& e) {
+        ok = false;
+        error = e.what();
+      }
+      const std::uint64_t bad = comm.allreduce_sum_u64(ok ? 0u : 1u);
+      if (bad == 0) {
+        kmc::KmcEngineState st;
+        st.events = meta.kmc_events;
+        st.cycles = meta.kmc_cycles;
+        st.mc_time = meta.kmc_mc_time;
+        st.last_max_rate = meta.kmc_last_max_rate;
+        st.rng_state = meta.kmc_rng_state;
+        kmc_engine.restore_state(comm, st);
+        // Events executed before the checkpoint re-enter the registry so a
+        // resumed run reports the same totals as an uninterrupted one.
+        if (meta.kmc_events > 0) telemetry::count("kmc.events", meta.kmc_events);
+        telemetry::count("ckpt.resumed_ranks");
+        restored = true;
+        restored_cycles = meta.kmc_cycles;
+        break;
+      }
+      telemetry::count("ckpt.load_fallbacks");
+      if (!ok) {
+        std::fprintf(stderr,
+                     "mmd: rank %d: checkpoint epoch %llu rejected (%s); "
+                     "falling back\n",
+                     comm.rank(), static_cast<unsigned long long>(epoch),
+                     error.c_str());
+      }
+    }
+
+    if (!restored) {
+      if (!resume_epochs.empty()) {
+        // A partially-applied failed load must not leak into a fresh run.
+        for (std::size_t i = 0; i < kmc_engine.model().size(); ++i) {
+          kmc_engine.model().set_state(i, kmc::SiteState::Fe);
+        }
+      }
+      // --- MD stage: cascade-collision defect generation ---
       MMD_TRACE_SCOPE("sim.md");
       md_engine.initialize(comm);
       if (cfg_.solute_fraction > 0.0) {
@@ -114,35 +247,60 @@ SimulationReport Simulation::run() {
 
     // --- KMC stage: vacancy clustering and evolution ---
     wall.reset();
-    kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, kmc_tables_,
-                              comm.rank(), cfg_.kmc_strategy);
     std::vector<std::int64_t> before;
     std::vector<std::int64_t> after;
     {
       MMD_TRACE_SCOPE("sim.kmc");
-      if (cfg_.solute_fraction > 0.0) {
-        // Carry the Cu arrangement over: on-lattice mapping of each Cu atom
-        // (displaced atoms map to their nearest lattice site).
-        auto& lnl = md_engine.lattice();
-        for (std::size_t idx : lnl.owned_indices()) {
-          const lat::AtomEntry& e = lnl.entry(idx);
-          if (e.is_atom() && e.type == lat::Species::Cu) {
-            kmc_engine.model().set_state_global(lnl.site_rank(idx),
-                                                kmc::SiteState::Cu);
+      if (!restored) {
+        if (cfg_.solute_fraction > 0.0) {
+          // Carry the Cu arrangement over: on-lattice mapping of each Cu atom
+          // (displaced atoms map to their nearest lattice site).
+          auto& lnl = md_engine.lattice();
+          for (std::size_t idx : lnl.owned_indices()) {
+            const lat::AtomEntry& e = lnl.entry(idx);
+            if (e.is_atom() && e.type == lat::Species::Cu) {
+              kmc_engine.model().set_state_global(lnl.site_rank(idx),
+                                                  kmc::SiteState::Cu);
+            }
           }
+          lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+            const lat::RunawayAtom& a = lnl.runaway(ri);
+            if (a.type == lat::Species::Cu) {
+              const std::size_t host = lnl.nearest_owned_entry(a.r);
+              kmc_engine.model().set_state_global(lnl.site_rank(host),
+                                                  kmc::SiteState::Cu);
+            }
+          });
         }
-        lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
-          const lat::RunawayAtom& a = lnl.runaway(ri);
-          if (a.type == lat::Species::Cu) {
-            const std::size_t host = lnl.nearest_owned_entry(a.r);
-            kmc_engine.model().set_state_global(lnl.site_rank(host),
-                                                kmc::SiteState::Cu);
-          }
-        });
+        kmc_engine.initialize_sites(comm, vac_sites);
+        before = kmc_engine.gather_vacancies(comm);
+      } else {
+        // The restored sites already contain the handoff (vacancies AND any
+        // solute arrangement); reconstruct the pre-KMC vacancy census from
+        // the frozen MD lattice instead of the evolved KMC state.
+        before = comm.gather_to<std::int64_t>(0, vac_sites, /*tag=*/9010);
+        std::sort(before.begin(), before.end());
       }
-      kmc_engine.initialize_sites(comm, vac_sites);
-      before = kmc_engine.gather_vacancies(comm);
-      kmc_engine.run_cycles(comm, cfg_.kmc_cycles);
+      // Advance to cfg_.kmc_cycles, checkpointing at every epoch boundary.
+      // Chunked run_cycles calls execute the identical cycle sequence, so
+      // checkpointing does not perturb the physics.
+      const int total = cfg_.kmc_cycles;
+      int done = static_cast<int>(restored_cycles);
+      while (done < total) {
+        int chunk = total - done;
+        if (store != nullptr && cfg_.checkpoint_every > 0) {
+          chunk = std::min(chunk,
+                           cfg_.checkpoint_every - done % cfg_.checkpoint_every);
+        }
+        kmc_engine.run_cycles(comm, chunk);
+        done += chunk;
+        if (store != nullptr && cfg_.checkpoint_every > 0 &&
+            done % cfg_.checkpoint_every == 0) {
+          save_checkpoint_epoch(comm, *store, cfg_,
+                                static_cast<std::uint64_t>(done), md_engine,
+                                kmc_engine);
+        }
+      }
       after = kmc_engine.gather_vacancies(comm);
     }
     const double c_mc = kmc_engine.vacancy_concentration(comm);
@@ -161,6 +319,8 @@ SimulationReport Simulation::run() {
           kmc::real_time_scale(kmc_engine.mc_time(), c_mc, kmc_cfg.temperature) /
           86400.0;
       report.final_vacancies = after;
+      report.resumed = restored;
+      report.resumed_from_cycle = restored_cycles;
     }
   });
 

@@ -7,6 +7,10 @@
 #include "kmc/engine.h"
 #include "md/engine.h"
 
+namespace mmd::io {
+class FaultInjector;
+}
+
 namespace mmd::core {
 
 /// Configuration of a coupled MD-KMC run (the paper's end-to-end pipeline:
@@ -29,6 +33,21 @@ struct SimulationConfig {
   int kmc_cycles = 50;             ///< KMC cycles after the MD stage
   double kmc_dt_scale = 1.0;
   int kmc_table_segments = 2000;   ///< KMC-side table resolution
+
+  // --- fault-tolerant checkpoint/restart (docs/CHECKPOINTING.md) ---
+  /// KMC cycles between checkpoint epochs (0 disables periodic saving).
+  int checkpoint_every = 0;
+  /// Directory for the per-rank checkpoint files + MANIFEST. Empty disables
+  /// checkpointing AND resuming.
+  std::string checkpoint_dir;
+  /// Resume from the newest committed epoch in checkpoint_dir that every
+  /// rank can validate, falling back epoch by epoch on corruption; a fresh
+  /// run starts when none is usable.
+  bool resume = false;
+  /// Committed epochs retained on disk (older ones are pruned at commit).
+  int checkpoint_keep = 2;
+  /// Test hook: injects write faults into the checkpoint store (not owned).
+  io::FaultInjector* fault_injector = nullptr;
 };
 
 /// What the coupled run produced.
@@ -49,6 +68,11 @@ struct SimulationReport {
   /// Global vacancy site ranks after the KMC stage (for visualization and
   /// further analysis).
   std::vector<std::int64_t> final_vacancies;
+  /// Whether this run restarted from a checkpoint, and from which KMC cycle.
+  /// Deliberately absent from to_string(): a resumed run's report must be
+  /// byte-identical to an uninterrupted one (restart equivalence).
+  bool resumed = false;
+  std::uint64_t resumed_from_cycle = 0;
 };
 
 std::string to_string(const SimulationReport& r);

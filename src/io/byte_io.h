@@ -1,0 +1,99 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/vec3.h"
+
+namespace mmd::io {
+
+/// Field-at-a-time little-endian serializer into a growable byte buffer.
+///
+/// Checkpoint payloads are built through this instead of writing structs
+/// raw: struct padding never reaches the file, so blobs are byte-identical
+/// across runs (stable CRCs, MSan-clean) and independent of the compiler's
+/// layout choices.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i16(std::int16_t v) { put_le(static_cast<std::uint16_t>(v)); }
+  void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+  void put_vec3(const util::Vec3& v) {
+    put_f64(v.x);
+    put_f64(v.y);
+    put_f64(v.z);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename U>
+  void put_le(U v) {
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over an in-memory payload. Every
+/// accessor throws on underflow, so a truncated or corrupt section can never
+/// read past the buffer — the counterpart of ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view buf) : buf_(buf) {}
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  std::uint8_t get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(buf_[pos_++]);
+  }
+  std::uint32_t get_u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_le<std::uint64_t>(); }
+  std::int16_t get_i16() { return static_cast<std::int16_t>(get_le<std::uint16_t>()); }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_le<std::uint32_t>()); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
+  double get_f64() { return std::bit_cast<double>(get_le<std::uint64_t>()); }
+  util::Vec3 get_vec3() {
+    util::Vec3 v;
+    v.x = get_f64();
+    v.y = get_f64();
+    v.z = get_f64();
+    return v;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (buf_.size() - pos_ < n) {
+      throw std::runtime_error("Checkpoint: truncated section payload");
+    }
+  }
+
+  template <typename U>
+  U get_le() {
+    need(sizeof(U));
+    U v = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<U>(static_cast<std::uint8_t>(buf_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(U);
+    return v;
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mmd::io

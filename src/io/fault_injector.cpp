@@ -1,0 +1,70 @@
+#include "io/fault_injector.h"
+
+namespace mmd::io {
+
+void FaultInjector::arm_truncate_at(std::uint64_t byte, int after_writes) {
+  std::lock_guard lk(m_);
+  mode_ = Mode::kTruncateAt;
+  byte_ = byte;
+  after_writes_ = after_writes;
+  injected_ = 0;
+}
+
+void FaultInjector::arm_bit_flip(std::uint64_t byte, int bit, int after_writes) {
+  std::lock_guard lk(m_);
+  mode_ = Mode::kBitFlip;
+  byte_ = byte;
+  bit_ = bit & 7;
+  after_writes_ = after_writes;
+  injected_ = 0;
+}
+
+void FaultInjector::arm_fail_on_nth_write(int nth) {
+  std::lock_guard lk(m_);
+  mode_ = Mode::kFailOnNthWrite;
+  nth_ = nth;
+  injected_ = 0;
+}
+
+bool FaultInjector::apply(std::string& blob) {
+  std::lock_guard lk(m_);
+  const int write_no = ++writes_;
+  if (mode_ == Mode::kNone) return true;
+  if (fire_once_ && injected_ > 0) return true;
+  switch (mode_) {
+    case Mode::kFailOnNthWrite:
+      if (write_no == nth_) {
+        ++injected_;
+        return false;
+      }
+      return true;
+    case Mode::kTruncateAt:
+      if (write_no > after_writes_ && byte_ < blob.size()) {
+        blob.resize(static_cast<std::size_t>(byte_));
+        ++injected_;
+      }
+      return true;
+    case Mode::kBitFlip:
+      if (write_no > after_writes_ && byte_ < blob.size()) {
+        blob[static_cast<std::size_t>(byte_)] ^=
+            static_cast<char>(1u << bit_);
+        ++injected_;
+      }
+      return true;
+    case Mode::kNone:
+      break;
+  }
+  return true;
+}
+
+int FaultInjector::writes_seen() const {
+  std::lock_guard lk(m_);
+  return writes_;
+}
+
+int FaultInjector::faults_injected() const {
+  std::lock_guard lk(m_);
+  return injected_;
+}
+
+}  // namespace mmd::io

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace mmd::io {
+
+/// Deterministic fault injection for the checkpoint write path, used by the
+/// corruption tests and the restart-equivalence harness. An armed injector
+/// is handed to io::CheckpointStore, which routes every blob about to be
+/// persisted through `apply()`:
+///
+///   - truncate-at-byte-N: the blob is cut to N bytes (a crash mid-write),
+///   - bit-flip: one bit of the blob is inverted (media corruption),
+///   - fail-on-nth-write: the Nth write call across all ranks fails outright
+///     (a full filesystem / dead node).
+///
+/// Write calls arrive concurrently from the rank threads, so the counter is
+/// mutex-guarded; `fire_once` (default) makes a fault a one-shot so a run
+/// degrades at one epoch and recovers at the next — exactly the behavior
+/// the graceful-degradation tests pin down.
+class FaultInjector {
+ public:
+  enum class Mode {
+    kNone,
+    kTruncateAt,
+    kBitFlip,
+    kFailOnNthWrite,
+  };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arm: every write after `after_writes` persists only `byte` bytes.
+  void arm_truncate_at(std::uint64_t byte, int after_writes = 0);
+  /// Arm: flip bit `bit` of byte `byte` in the next affected write.
+  void arm_bit_flip(std::uint64_t byte, int bit, int after_writes = 0);
+  /// Arm: the `nth` write call (1-based, counted across ranks) fails.
+  void arm_fail_on_nth_write(int nth);
+  /// A fault fires on every eligible write instead of only the first.
+  void set_fire_once(bool once) { fire_once_ = once; }
+
+  /// Called by the store with the blob about to be persisted; may mutate it.
+  /// Returns false when the write must fail outright.
+  bool apply(std::string& blob);
+
+  int writes_seen() const;
+  int faults_injected() const;
+
+ private:
+  mutable std::mutex m_;
+  Mode mode_ = Mode::kNone;
+  std::uint64_t byte_ = 0;
+  int bit_ = 0;
+  int nth_ = 0;
+  int after_writes_ = 0;
+  bool fire_once_ = true;
+  int writes_ = 0;
+  int injected_ = 0;
+};
+
+}  // namespace mmd::io

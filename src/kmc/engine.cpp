@@ -55,6 +55,28 @@ void KmcEngine::initialize_sites(comm::Comm& comm,
   initialized_ = true;
 }
 
+KmcEngineState KmcEngine::engine_state() const {
+  KmcEngineState s;
+  s.events = stats_.events;
+  s.cycles = stats_.cycles;
+  s.mc_time = stats_.mc_time;
+  s.last_max_rate = last_max_rate_;
+  s.rng_state = base_rng_.state();
+  return s;
+}
+
+void KmcEngine::restore_state(comm::Comm& comm, const KmcEngineState& s) {
+  stats_.events = s.events;
+  stats_.cycles = s.cycles;
+  stats_.mc_time = s.mc_time;
+  last_max_rate_ = s.last_max_rate;
+  base_rng_.set_state(s.rng_state);
+  comm_time_.start();
+  ghosts_.initialize(comm, model_);
+  comm_time_.stop();
+  initialized_ = true;
+}
+
 int KmcEngine::sector_of(const lat::LocalCoord& c) const {
   const lat::LocalBox& b = model_.box();
   const int hx = c.x >= b.lx / 2 ? 1 : 0;

@@ -20,6 +20,19 @@ struct KmcStats {
   double mc_time = 0.0;  ///< accumulated MC clock [s]
 };
 
+/// Everything beyond the site array that a checkpoint must capture for a
+/// resumed run to continue bit-identically: the cycle counter seeds the
+/// per-sector RNG streams, `last_max_rate` seeds the next cycle's dt
+/// synchronization, and the generator state (not the seed!) pins the draw
+/// sequence.
+struct KmcEngineState {
+  std::uint64_t events = 0;
+  std::uint64_t cycles = 0;
+  double mc_time = 0.0;
+  double last_max_rate = 0.0;
+  std::uint64_t rng_state = 0;
+};
+
 /// Parallel AKMC engine implementing the semirigorous synchronous sublattice
 /// method (Shim & Amar, paper Fig. 7):
 ///
@@ -50,6 +63,14 @@ class KmcEngine {
   /// Collective: vacancies at the given owned global site ranks (the MD
   /// handoff path) plus ghost initialization.
   void initialize_sites(comm::Comm& comm, std::span<const std::int64_t> owned_vacancies);
+
+  /// Checkpoint capture of the engine state (site states live in model()).
+  KmcEngineState engine_state() const;
+
+  /// Collective: adopt a checkpointed engine state after the model's owned
+  /// sites were restored; re-initializes ghost images from their owners.
+  /// Replaces initialize_random/initialize_sites on the resume path.
+  void restore_state(comm::Comm& comm, const KmcEngineState& s);
 
   /// Advance `n` cycles; returns events executed on this rank.
   std::uint64_t run_cycles(comm::Comm& comm, int n);

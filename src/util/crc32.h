@@ -1,0 +1,31 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mmd::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+/// check guarding every checkpoint section so corruption is detected at
+/// load time instead of silently restoring damaged state.
+inline std::uint32_t crc32(std::string_view data, std::uint32_t crc = 0) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  crc = ~crc;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace mmd::util

@@ -23,6 +23,12 @@ class Rng {
     return Rng(mix(state_ + 0x632be59bd9b4e019ull * (stream + 1)));
   }
 
+  /// Raw generator state, for checkpointing. A resumed run must restore the
+  /// state (`set_state`), not re-seed: reconstructing from the seed silently
+  /// rewinds every draw made before the checkpoint.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s; }
+
   /// Next raw 64-bit value.
   std::uint64_t next_u64() {
     state_ += 0x9e3779b97f4a7c15ull;

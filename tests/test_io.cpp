@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "io/checkpoint.h"
 #include "io/xyz.h"
 #include "md/engine.h"
+#include "util/crc32.h"
 
 namespace mmd::io {
 namespace {
@@ -189,6 +193,174 @@ TEST(Checkpoint, KmcRoundTrip) {
     if (restored.is_owned(i)) found_cu = restored.state(i) == kmc::SiteState::Cu;
   }
   EXPECT_TRUE(found_cu);
+}
+
+namespace {
+
+/// A small lattice with a vacancy and a two-atom run-away chain, serialized.
+std::string md_blob(const lat::BccGeometry& g, const lat::LocalBox& box) {
+  lat::LatticeNeighborList lnl(g, box, 5.0);
+  lnl.fill_perfect(lat::Species::Fe);
+  const std::size_t host = lnl.box().entry_index({1, 1, 1, 0});
+  lnl.entry(host).r += util::Vec3{0.4, 0.2, 0.1};
+  lnl.detach(host);
+  lat::RunawayAtom extra;
+  extra.r = {1.0, 2.0, 3.0};
+  extra.v = {0.1, 0.2, 0.3};
+  extra.id = 7;
+  lnl.add_runaway(extra, lnl.box().entry_index({2, 2, 2, 1}));
+  std::ostringstream os;
+  Checkpoint::save_md(os, lnl, 0.5);
+  return os.str();
+}
+
+std::string md_blob_3cube() {
+  lat::BccGeometry g(3, 3, 3, kA);
+  return md_blob(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2});
+}
+
+void patch_u32(std::string& blob, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    blob[off + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+// v2 layout: file header 8 B; section kind @8, length @12, crc @20,
+// payload @24. MD payload: 9*i32 geometry, f64 time, u64 count, then
+// records of 90 B + u32 chain_len (+ chain).
+constexpr std::size_t kPayloadOff = 24;
+constexpr std::size_t kSectionCrcOff = 20;
+constexpr std::size_t kFirstChainLenOff = kPayloadOff + 36 + 8 + 8 + 90;
+
+}  // namespace
+
+TEST(Checkpoint, BlobsAreByteDeterministic) {
+  // Explicit field serialization: no struct padding reaches the stream, so
+  // two saves of the same state are identical (and CRCs are stable).
+  EXPECT_EQ(md_blob_3cube(), md_blob_3cube());
+}
+
+TEST(Checkpoint, TruncationRejectedAtAnyLength) {
+  const std::string blob = md_blob_3cube();
+  lat::BccGeometry g(3, 3, 3, kA);
+  for (std::size_t len = 0; len < blob.size();
+       len += 1 + blob.size() / 97) {
+    lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+    std::istringstream is(blob.substr(0, len));
+    EXPECT_THROW(Checkpoint::load_md(is, lnl), std::runtime_error)
+        << "truncation at byte " << len << " was not rejected";
+  }
+}
+
+TEST(Checkpoint, BitFlipAnywhereInPayloadRejected) {
+  const std::string blob = md_blob_3cube();
+  lat::BccGeometry g(3, 3, 3, kA);
+  for (std::size_t off = kPayloadOff; off < blob.size();
+       off += 1 + blob.size() / 61) {
+    std::string bad = blob;
+    bad[off] = static_cast<char>(bad[off] ^ 0x10);
+    lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+    std::istringstream is(bad);
+    EXPECT_THROW(Checkpoint::load_md(is, lnl), std::runtime_error)
+        << "bit flip at byte " << off << " was not rejected";
+  }
+}
+
+TEST(Checkpoint, OversizedChainLenRejectedBeforeAllocation) {
+  // A corrupt chain_len must be bounded against the bytes actually present,
+  // not fed to a vector constructor. Forge a blob whose CRC is valid but
+  // whose first record claims a multi-GB chain.
+  std::string blob = md_blob_3cube();
+  patch_u32(blob, kFirstChainLenOff, 0x3FFFFFFFu);
+  patch_u32(blob, kSectionCrcOff, util::crc32(blob.substr(kPayloadOff)));
+  lat::BccGeometry g(3, 3, 3, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+  std::istringstream is(blob);
+  try {
+    Checkpoint::load_md(is, lnl);
+    FAIL() << "oversized chain_len was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("chain length"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, OversizedSectionLengthRejected) {
+  std::string blob = md_blob_3cube();
+  // Section length field (u64 little-endian at offset 12): claim 1 TiB.
+  patch_u32(blob, 12, 0x00000000u);
+  patch_u32(blob, 16, 0x00000100u);
+  lat::BccGeometry g(3, 3, 3, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+  std::istringstream is(blob);
+  EXPECT_THROW(Checkpoint::load_md(is, lnl), std::runtime_error);
+}
+
+TEST(Checkpoint, Version1RejectedWithMigrationMessage) {
+  std::string blob = md_blob_3cube();
+  patch_u32(blob, 4, 1u);  // version field
+  lat::BccGeometry g(3, 3, 3, kA);
+  lat::LatticeNeighborList lnl(g, lat::LocalBox{0, 0, 0, 3, 3, 3, 2}, 5.0);
+  std::istringstream is(blob);
+  try {
+    Checkpoint::load_md(is, lnl);
+    FAIL() << "version 1 blob was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, MultiRankRoundTripWithRunawayChains) {
+  // Per-rank files across a 4-rank decomposition, every rank carrying a
+  // vacancy and a multi-atom run-away chain; chain order must survive.
+  lat::BccGeometry g(8, 8, 8, kA);
+  lat::DomainDecomposition dd(g, 4, 2);
+  for (int rank = 0; rank < 4; ++rank) {
+    lat::LatticeNeighborList lnl(g, dd.local_box(rank), 5.0);
+    lnl.fill_perfect(lat::Species::Fe);
+    const lat::LocalBox& b = lnl.box();
+    // LocalCoord is rank-local: owned cells span [0, l*) on every rank.
+    const std::size_t detached = b.entry_index({1, 1, 1, 0});
+    lnl.entry(detached).r += util::Vec3{0.5, 0.1, 0.2};
+    lnl.detach(detached);
+    const std::size_t host = b.entry_index({2, 1, 1, 1});
+    for (int k = 0; k < 3; ++k) {
+      lat::RunawayAtom a;
+      a.r = {1.0 + k, 2.0, 3.0 + rank};
+      a.v = {0.1 * k, 0.0, 0.0};
+      a.id = 100 * rank + k;
+      lnl.add_runaway(a, host);
+    }
+    std::ostringstream os;
+    Checkpoint::save_md(os, lnl, 1.0 + rank);
+
+    // Capture the expected chain (head order) and entry state.
+    std::vector<std::int64_t> expected_chain;
+    for (std::int32_t ri = lnl.entry(host).runaway_head;
+         ri != lat::AtomEntry::kNoRunaway; ri = lnl.runaway(ri).next) {
+      expected_chain.push_back(lnl.runaway(ri).id);
+    }
+    ASSERT_EQ(expected_chain.size(), 3u);
+
+    lat::LatticeNeighborList restored(g, dd.local_box(rank), 5.0);
+    std::istringstream is(os.str());
+    EXPECT_DOUBLE_EQ(Checkpoint::load_md(is, restored), 1.0 + rank);
+    EXPECT_EQ(restored.count_owned_vacancies(), lnl.count_owned_vacancies());
+    EXPECT_EQ(restored.count_owned_runaways(), lnl.count_owned_runaways());
+    std::vector<std::int64_t> got_chain;
+    for (std::int32_t ri = restored.entry(host).runaway_head;
+         ri != lat::AtomEntry::kNoRunaway; ri = restored.runaway(ri).next) {
+      got_chain.push_back(restored.runaway(ri).id);
+    }
+    EXPECT_EQ(got_chain, expected_chain) << "rank " << rank;
+    for (std::size_t i : restored.owned_indices()) {
+      EXPECT_EQ(restored.entry(i).id, lnl.entry(i).id);
+      EXPECT_EQ(restored.entry(i).r, lnl.entry(i).r);
+      EXPECT_EQ(restored.entry(i).v, lnl.entry(i).v);
+    }
+  }
 }
 
 TEST(Checkpoint, KindMismatchRejected) {

@@ -4,12 +4,20 @@
 //
 //   mmd_run config.mmd
 //   mmd_run config.mmd --trace-out=trace.json --metrics-out=metrics.json
+//   mmd_run config.mmd --checkpoint-dir=ckpt --checkpoint-every=10
+//   mmd_run config.mmd --checkpoint-dir=ckpt --resume
 //   mmd_run --print-defaults > config.mmd
 //
 // --trace-out writes a Chrome-trace JSON (load in chrome://tracing or
 // ui.perfetto.dev) with per-rank MD/KMC phase spans; --metrics-out writes the
 // flat metrics JSON (comm volumes, DMA traffic, timing split). See
 // docs/OBSERVABILITY.md.
+//
+// --checkpoint-dir/--checkpoint-every enable periodic per-rank checkpoints
+// of the full coupled state; --resume restarts from the newest committed
+// epoch (falling back past corrupt ones), producing a report identical to an
+// uninterrupted run. See docs/CHECKPOINTING.md. The flags override the
+// checkpoint.dir / checkpoint.every configuration keys.
 //
 // Example configuration:
 //
@@ -52,7 +60,9 @@ void print_defaults() {
       "kmc.strategy  = on-demand  # traditional | on-demand | on-demand-2sided\n"
       "kmc.dt_scale  = 1.0\n"
       "solute        = 0.0      # Fe-Cu alloy: Cu fraction\n"
-      "xyz           =          # optional: write final KMC sites as .xyz\n");
+      "xyz           =          # optional: write final KMC sites as .xyz\n"
+      "checkpoint.dir   =       # optional: directory for per-rank checkpoints\n"
+      "checkpoint.every = 0     # KMC cycles between epochs (0 = off)\n");
 }
 
 kmc::GhostStrategy parse_strategy(const std::string& s) {
@@ -68,6 +78,9 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string trace_out;
   std::string metrics_out;
+  std::string checkpoint_dir;
+  int checkpoint_every = -1;  // -1: not given on the command line
+  bool resume = false;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +91,12 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      checkpoint_dir = arg.substr(17);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      checkpoint_every = std::stoi(arg.substr(19));
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       usage_error = true;
@@ -91,6 +110,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mmd_run <config-file> [--trace-out=FILE] "
                  "[--metrics-out=FILE]\n"
+                 "               [--checkpoint-dir=DIR] "
+                 "[--checkpoint-every=CYCLES] [--resume]\n"
                  "       mmd_run --print-defaults\n");
     return 2;
   }
@@ -115,6 +136,17 @@ int main(int argc, char** argv) {
         parse_strategy(cfg_file.get_string("kmc.strategy", "on-demand"));
     cfg.solute_fraction = cfg_file.get_double("solute", 0.0);
     const std::string xyz_path = cfg_file.get_string("xyz", "");
+    cfg.checkpoint_dir = cfg_file.get_string("checkpoint.dir", "");
+    cfg.checkpoint_every =
+        static_cast<int>(cfg_file.get_int("checkpoint.every", 0));
+    if (!checkpoint_dir.empty()) cfg.checkpoint_dir = checkpoint_dir;
+    if (checkpoint_every >= 0) cfg.checkpoint_every = checkpoint_every;
+    cfg.resume = resume;
+    if (cfg.resume && cfg.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "error: --resume requires --checkpoint-dir or "
+                           "checkpoint.dir\n");
+      return 2;
+    }
 
     const auto unknown = cfg_file.unknown_keys();
     if (!unknown.empty()) {
@@ -128,6 +160,18 @@ int main(int argc, char** argv) {
     telemetry::Session session(cfg.nranks);
     core::Simulation sim(cfg);
     const auto report = sim.run();
+    // stderr, so stdout stays byte-comparable between a full run and a
+    // kill-and-resume run (the CI restart-equivalence check diffs it).
+    if (cfg.resume) {
+      if (report.resumed) {
+        std::fprintf(stderr, "mmd_run: resumed from checkpoint at KMC cycle %llu\n",
+                     static_cast<unsigned long long>(report.resumed_from_cycle));
+      } else {
+        std::fprintf(stderr,
+                     "mmd_run: no usable checkpoint in '%s'; started fresh\n",
+                     cfg.checkpoint_dir.c_str());
+      }
+    }
     std::printf("%s\n", core::to_string(report).c_str());
 
     if (!trace_out.empty()) {
