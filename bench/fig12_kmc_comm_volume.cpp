@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "bench_common.h"
+#include "harness.h"
 #include "kmc/engine.h"
 #include "util/stats.h"
 
@@ -43,6 +44,7 @@ int main() {
   bench::title("Fig. 12",
                "KMC communication volume: traditional vs on-demand "
                "(C_v = 4.5e-5 in the paper)");
+  bench::BenchHarness h("fig12_kmc_comm_volume");
 
   kmc::KmcConfig cfg;
   cfg.table_segments = 500;
@@ -72,6 +74,11 @@ int main() {
     rank_series.push_back(nranks);
     trad_series.push_back(static_cast<double>(trad.bytes_sent));
     ondemand_series.push_back(static_cast<double>(ondemand.bytes_sent));
+    h.add_value("traditional_bytes_r" + std::to_string(nranks), "bytes",
+                static_cast<double>(trad.bytes_sent));
+    h.add_value("ondemand_bytes_r" + std::to_string(nranks), "bytes",
+                static_cast<double>(ondemand.bytes_sent));
+    h.add_value("ondemand_ratio_r" + std::to_string(nranks), "ratio", ratio);
     std::printf("  %8d %10lld %18llu %18llu %11.2f%% %9s\n", nranks,
                 2ll * cells * cells * cells,
                 static_cast<unsigned long long>(trad.bytes_sent),
@@ -81,6 +88,8 @@ int main() {
   std::printf("\n");
   bench::note("on-demand / traditional volume (geo-mean): %.2f%%  (paper: 2.6%%)",
               100.0 * util::geometric_mean(ratios));
+  h.add_value("ondemand_ratio_geomean", "ratio", util::geometric_mean(ratios));
+  bool write_failed = false;
   {
     bench::FigureJson fj("fig12_kmc_comm_volume");
     fj.add_note("paper_ratio", "0.026");
@@ -88,7 +97,7 @@ int main() {
     fj.add_series("traditional_bytes", trad_series);
     fj.add_series("ondemand_bytes", ondemand_series);
     fj.add_series("ratio", ratios);
-    fj.write();
+    write_failed = fj.write().empty();
   }
   bench::note("the traditional scheme ships the whole sector ghost shell twice");
   bench::note("per sector whether updated or not; on-demand ships only the");
@@ -114,5 +123,6 @@ int main() {
   std::printf("\n");
   bench::note("(event counts per cycle depend on the BKL clock, so the");
   bench::note(" on-demand column tracks events, not concentration, exactly)");
-  return 0;
+  const int rc = h.write();
+  return write_failed ? 1 : rc;
 }

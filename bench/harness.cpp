@@ -1,0 +1,102 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace mmd::bench {
+
+namespace {
+
+int env_int(const char* name, int fallback, int floor) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  const int v = std::atoi(s);
+  return v < floor ? floor : v;
+}
+
+}  // namespace
+
+BenchHarness::BenchHarness(std::string name, Options opt) : opt_(opt) {
+  opt_.repeats = env_int("MMD_BENCH_REPEATS", opt_.repeats, 1);
+  opt_.warmup = env_int("MMD_BENCH_WARMUP", opt_.warmup, 0);
+  report_.name = std::move(name);
+  report_.env = perf::capture_bench_env();
+  report_.warmup = opt_.warmup;
+  report_.repeats = opt_.repeats;
+}
+
+void BenchHarness::time_per_op(const std::string& metric,
+                               const std::function<void()>& op) {
+  // Calibrate the inner batch so one sample is long enough to time reliably.
+  std::uint64_t batch = 1;
+  for (;;) {
+    util::Timer t;
+    for (std::uint64_t i = 0; i < batch; ++i) op();
+    if (t.elapsed() >= opt_.min_sample_s || batch >= (1ull << 30)) break;
+    batch *= 2;
+  }
+  for (int w = 0; w < opt_.warmup; ++w) {
+    for (std::uint64_t i = 0; i < batch; ++i) op();
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(opt_.repeats));
+  for (int r = 0; r < opt_.repeats; ++r) {
+    util::Timer t;
+    for (std::uint64_t i = 0; i < batch; ++i) op();
+    samples.push_back(1e9 * t.elapsed() / static_cast<double>(batch));
+  }
+  add_samples(metric, "ns/op", std::move(samples));
+}
+
+void BenchHarness::time_call_ms(const std::string& metric,
+                                const std::function<void()>& fn) {
+  for (int w = 0; w < opt_.warmup; ++w) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(opt_.repeats));
+  for (int r = 0; r < opt_.repeats; ++r) {
+    util::Timer t;
+    fn();
+    samples.push_back(1e3 * t.elapsed());
+  }
+  add_samples(metric, "ms", std::move(samples));
+}
+
+void BenchHarness::add_samples(const std::string& metric, const std::string& unit,
+                               std::vector<double> samples, bool lower_is_better) {
+  perf::BenchMetric m;
+  m.name = metric;
+  m.unit = unit;
+  m.lower_is_better = lower_is_better;
+  m.samples = std::move(samples);
+  report_.metrics.push_back(std::move(m));
+}
+
+void BenchHarness::add_value(const std::string& metric, const std::string& unit,
+                             double value, bool lower_is_better) {
+  add_samples(metric, unit, {value}, lower_is_better);
+}
+
+int BenchHarness::write(const std::string& dir) {
+  for (auto& m : report_.metrics) m.finalize();
+  std::printf("\n  %-44s %14s %12s %12s %9s\n", "metric", "median", "MAD", "min",
+              "outliers");
+  for (const auto& m : report_.metrics) {
+    std::printf("  %-44s %12.4g %-6s %12.4g %12.4g %9d\n", m.name.c_str(),
+                m.median, m.unit.c_str(), m.mad, m.min, m.outliers);
+  }
+  try {
+    const std::string path = report_.write_file(dir);
+    std::printf("  wrote %s (schema mmd.bench v%d, %d warmup + %d repeats)\n",
+                path.c_str(), perf::BenchReport::kSchemaVersion, opt_.warmup,
+                opt_.repeats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace mmd::bench

@@ -1,0 +1,73 @@
+#pragma once
+
+// BenchHarness — the measurement discipline every bench binary shares:
+// untimed warmup repeats, N timed repeats, robust statistics (median / MAD /
+// min) with outlier flagging, and environment capture (git SHA, compiler,
+// flags, build type, core count, UTC timestamp). Results land in a single
+// schema-versioned BENCH_<name>.json (perf::BenchReport) that
+// tools/mmd_perf_diff can compare across commits.
+//
+//   bench::BenchHarness h("micro_table_lookup");
+//   h.time_per_op("compact_value_direct", [&] { phi.eval(r, &v, &d); });
+//   h.add_value("dma_bytes_per_lookup", "bytes", bytes);
+//   return h.write();   // prints the table, writes BENCH_micro_table_lookup.json
+//
+// Repeat counts can be overridden per run through MMD_BENCH_REPEATS /
+// MMD_BENCH_WARMUP (the CI perf-smoke job trims them), never below 1/0.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perf/bench_report.h"
+
+namespace mmd::bench {
+
+class BenchHarness {
+ public:
+  struct Options {
+    int warmup = 2;              ///< untimed repeats before sampling
+    int repeats = 9;             ///< timed repeats (odd keeps the median a sample)
+    double min_sample_s = 0.02;  ///< auto-batch target per sample in time_per_op
+  };
+
+  /// `name` becomes the report/file name (BENCH_<name>.json). Options are
+  /// adjusted by the MMD_BENCH_REPEATS / MMD_BENCH_WARMUP environment
+  /// variables when set.
+  explicit BenchHarness(std::string name) : BenchHarness(std::move(name), Options()) {}
+  BenchHarness(std::string name, Options opt);
+
+  const Options& options() const { return opt_; }
+
+  /// Measure nanoseconds per call of `op`: the inner batch size is calibrated
+  /// (doubling) until one sample takes >= min_sample_s, then warmup + repeats
+  /// samples are taken. Metric unit is "ns/op".
+  void time_per_op(const std::string& metric, const std::function<void()>& op);
+
+  /// Measure milliseconds per call of `fn`, one call per sample (for
+  /// coarse-grained work where the callee is the whole measured unit).
+  void time_call_ms(const std::string& metric, const std::function<void()>& fn);
+
+  /// Record externally measured samples (one per repeat) under `metric`.
+  void add_samples(const std::string& metric, const std::string& unit,
+                   std::vector<double> samples, bool lower_is_better = true);
+
+  /// Record a deterministic quantity (byte counts, modeled times, ratios).
+  void add_value(const std::string& metric, const std::string& unit, double value,
+                 bool lower_is_better = true);
+
+  perf::BenchReport& report() { return report_; }
+
+  /// Finalize all metrics, print the summary table, write BENCH_<name>.json
+  /// into `dir`. Returns a process exit code: 0 on success, 1 when the file
+  /// cannot be written (the error names the path). Intended as the bench
+  /// main()'s return value so write failures fail the run.
+  [[nodiscard]] int write(const std::string& dir = ".");
+
+ private:
+  Options opt_;
+  perf::BenchReport report_;
+};
+
+}  // namespace mmd::bench

@@ -1,102 +1,135 @@
-// Microbenchmarks (google-benchmark) of the in-process message-passing
+// Microbenchmarks (BenchHarness) of the in-process message-passing
 // substrate: point-to-point latency/throughput, collective rendezvous cost,
 // probe-based dynamic receives (the on-demand KMC primitive), and one-sided
 // window puts. Characterizes the substrate the scaling benches run on.
+// Emits BENCH_micro_comm.json for tools/mmd_perf_diff.
+//
+// Sampling shape: the harness cannot drive a callable that must execute
+// inside a rank function, so each benchmark runs warmup + repeats blocks of
+// K operations inside comm::World::run, rank 0 timing each block, and feeds
+// the per-op samples to the harness through add_samples.
 
-#include <benchmark/benchmark.h>
+#include <span>
+#include <vector>
 
+#include "bench_common.h"
 #include "comm/world.h"
+#include "harness.h"
+#include "util/timer.h"
 
 using namespace mmd;
 
-namespace {
+int main() {
+  bench::title("micro_comm", "in-process message-passing substrate");
+  bench::BenchHarness h("micro_comm");
+  const int warm = h.options().warmup;
+  const int reps = h.options().repeats;
 
-void BM_PingPongSmall(benchmark::State& state) {
-  comm::World w(2);
-  w.run([&](comm::Comm& c) {
-    const double x = 1.0;
-    if (c.rank() == 0) {
-      for (auto _ : state) {
-        c.send(1, 1, std::span<const double>(&x, 1));
-        benchmark::DoNotOptimize(c.recv(1, 2));
+  {
+    constexpr int kOps = 2000;
+    std::vector<double> samples;
+    comm::World w(2);
+    w.run([&](comm::Comm& c) {
+      const double x = 1.0;
+      if (c.rank() == 0) {
+        for (int rep = 0; rep < warm + reps; ++rep) {
+          util::Timer t;
+          for (int i = 0; i < kOps; ++i) {
+            c.send(1, 1, std::span<const double>(&x, 1));
+            bench::keep(c.recv(1, 2));
+          }
+          if (rep >= warm) samples.push_back(1e9 * t.elapsed() / kOps);
+        }
+        c.send_value(1, 9, 0);  // stop token
+      } else {
+        for (;;) {
+          if (c.iprobe(0, 9)) break;
+          if (c.iprobe(0, 1)) {
+            c.recv(0, 1);
+            c.send(0, 2, std::span<const double>(&x, 1));
+          }
+        }
+        c.recv(0, 9);
       }
-      c.send_value(1, 9, 0);  // stop token
-    } else {
-      for (;;) {
-        if (c.iprobe(0, 9)) break;
-        if (c.iprobe(0, 1)) {
-          c.recv(0, 1);
-          c.send(0, 2, std::span<const double>(&x, 1));
+    });
+    h.add_samples("ping_pong_small", "ns/op", std::move(samples));
+  }
+
+  for (const std::size_t bytes : {std::size_t{1} << 10, std::size_t{1} << 16,
+                                  std::size_t{1} << 20}) {
+    const int ops = bytes >= (std::size_t{1} << 20) ? 100 : 1000;
+    std::vector<double> samples;
+    comm::World w(2);
+    w.run([&](comm::Comm& c) {
+      std::vector<char> buf(bytes, 'x');
+      if (c.rank() == 0) {
+        for (int rep = 0; rep < warm + reps; ++rep) {
+          util::Timer t;
+          for (int i = 0; i < ops; ++i) {
+            c.send(1, 1, std::span<const char>(buf));
+            bench::keep(c.recv(1, 2));
+          }
+          if (rep >= warm) {
+            samples.push_back(static_cast<double>(bytes) * ops / t.elapsed() /
+                              1e6);
+          }
+        }
+        c.send_value(1, 9, 0);
+      } else {
+        for (;;) {
+          if (c.iprobe(0, 9)) break;
+          if (c.iprobe(0, 1)) {
+            c.recv(0, 1);
+            c.send_value(0, 2, 1);
+          }
+        }
+        c.recv(0, 9);
+      }
+    });
+    h.add_samples("send_recv_throughput_" + std::to_string(bytes >> 10) + "k",
+                  "MB/s", std::move(samples), /*lower_is_better=*/false);
+  }
+
+  for (const int nranks : {2, 4, 8}) {
+    // Every rank executes the identical allreduce sequence, so the blocks
+    // stay in lockstep without a release token; rank 0's clock is the sample.
+    constexpr int kOps = 500;
+    std::vector<double> samples;
+    comm::World w(nranks);
+    w.run([&](comm::Comm& c) {
+      for (int rep = 0; rep < warm + reps; ++rep) {
+        util::Timer t;
+        for (int i = 0; i < kOps; ++i) bench::keep(c.allreduce_sum(1.0));
+        if (c.rank() == 0 && rep >= warm) {
+          samples.push_back(1e9 * t.elapsed() / kOps);
         }
       }
-      c.recv(0, 9);
-    }
-  });
-}
-BENCHMARK(BM_PingPongSmall);
+    });
+    h.add_samples("allreduce_rendezvous_" + std::to_string(nranks) + "ranks",
+                  "ns/op", std::move(samples));
+  }
 
-void BM_SendRecvThroughput(benchmark::State& state) {
-  const auto bytes = static_cast<std::size_t>(state.range(0));
-  comm::World w(2);
-  w.run([&](comm::Comm& c) {
-    std::vector<char> buf(bytes, 'x');
-    if (c.rank() == 0) {
-      for (auto _ : state) {
-        c.send(1, 1, std::span<const char>(buf));
-        benchmark::DoNotOptimize(c.recv(1, 2));
-      }
-      c.send_value(1, 9, 0);
-    } else {
-      for (;;) {
-        if (c.iprobe(0, 9)) break;
-        if (c.iprobe(0, 1)) {
-          c.recv(0, 1);
-          c.send_value(0, 2, 1);
+  {
+    // Single-rank epoch: measures the put + fence + drain machinery without a
+    // cross-rank iteration-count handshake.
+    constexpr int kOps = 2000;
+    std::vector<double> samples;
+    comm::World w(1);
+    w.run([&](comm::Comm& c) {
+      auto win = c.create_window();
+      const std::int64_t rec = 42;
+      for (int rep = 0; rep < warm + reps; ++rep) {
+        util::Timer t;
+        for (int i = 0; i < kOps; ++i) {
+          c.put(*win, 0, std::span<const std::int64_t>(&rec, 1));
+          c.barrier();
+          bench::keep(c.drain<std::int64_t>(*win));
         }
+        if (rep >= warm) samples.push_back(1e9 * t.elapsed() / kOps);
       }
-      c.recv(0, 9);
-    }
-  });
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(bytes));
+    });
+    h.add_samples("window_put_drain", "ns/op", std::move(samples));
+  }
+
+  return h.write();
 }
-BENCHMARK(BM_SendRecvThroughput)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
-
-void BM_AllreduceRendezvous(benchmark::State& state) {
-  // Every rank participates in every allreduce; rank 0 releases the others
-  // by flipping its contribution strongly negative on the last round.
-  const int n = static_cast<int>(state.range(0));
-  comm::World w(n);
-  w.run([&](comm::Comm& c) {
-    if (c.rank() == 0) {
-      for (auto _ : state) {
-        benchmark::DoNotOptimize(c.allreduce_sum(1.0));
-      }
-      c.allreduce_sum(-1e9);  // release
-    } else {
-      while (c.allreduce_sum(1.0) > 0.0) {
-      }
-    }
-  });
-}
-BENCHMARK(BM_AllreduceRendezvous)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_WindowPutDrain(benchmark::State& state) {
-  // Single-rank epoch: measures the put + fence + drain machinery without a
-  // cross-rank iteration-count handshake.
-  comm::World w(1);
-  w.run([&](comm::Comm& c) {
-    auto win = c.create_window();
-    const std::int64_t rec = 42;
-    for (auto _ : state) {
-      c.put(*win, 0, std::span<const std::int64_t>(&rec, 1));
-      c.barrier();
-      benchmark::DoNotOptimize(c.drain<std::int64_t>(*win));
-    }
-  });
-}
-BENCHMARK(BM_WindowPutDrain);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -9,9 +9,10 @@
 //   (c) per-lookup main-memory DMA      (window fetch, what a non-resident
 //                                        compact table costs),
 //   (d) traditional coefficient row DMA (the unoptimized baseline).
+// Emits BENCH_micro_register_sharding.json for tools/mmd_perf_diff.
 
-#include <benchmark/benchmark.h>
-
+#include "bench_common.h"
+#include "harness.h"
 #include "potential/eam.h"
 #include "potential/sharded_table.h"
 #include "potential/table_access.h"
@@ -29,73 +30,85 @@ const pot::EamTableSet& tables() {
   return t;
 }
 
-void BM_ShardedRegisterLookup(benchmark::State& state) {
-  sw::RegisterMesh mesh;
-  pot::ShardedTableAccess access(tables().f(0, 1), mesh, /*my_core=*/27);
-  util::Rng rng(5);
-  double x = 0;
-  for (auto _ : state) {
-    double v, d;
-    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
-    x += v;
-  }
-  benchmark::DoNotOptimize(x);
-  const auto s = mesh.total_stats();
-  state.counters["mesh_msgs_per_lookup"] =
-      static_cast<double>(s.messages) / static_cast<double>(state.iterations());
-  state.counters["modeled_ns_per_lookup"] =
-      1e9 * mesh.modeled_time(27) / static_cast<double>(state.iterations());
-}
-BENCHMARK(BM_ShardedRegisterLookup);
-
-void BM_ResidentLookupBaseline(benchmark::State& state) {
-  sw::LocalStore store;
-  sw::DmaEngine dma;
-  pot::CompactTableAccess access(tables().f(0, 1), store, dma, true);
-  util::Rng rng(5);
-  double x = 0;
-  for (auto _ : state) {
-    double v, d;
-    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
-    x += v;
-  }
-  benchmark::DoNotOptimize(x);
-}
-BENCHMARK(BM_ResidentLookupBaseline);
-
-void BM_MainMemoryWindowDma(benchmark::State& state) {
-  sw::LocalStore store(512);  // no residency possible
-  sw::DmaEngine dma;
-  pot::CompactTableAccess access(tables().f(0, 1), store, dma, true);
-  util::Rng rng(5);
-  double x = 0;
-  for (auto _ : state) {
-    double v, d;
-    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
-    x += v;
-  }
-  benchmark::DoNotOptimize(x);
-  state.counters["modeled_ns_per_lookup"] =
-      1e9 * dma.modeled_time() / static_cast<double>(state.iterations());
-}
-BENCHMARK(BM_MainMemoryWindowDma);
-
-void BM_TraditionalRowDma(benchmark::State& state) {
-  sw::DmaEngine dma;
-  pot::CoefficientTableAccess access(tables().phi_trad, dma);
-  util::Rng rng(5);
-  double x = 0;
-  for (auto _ : state) {
-    double v, d;
-    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
-    x += v;
-  }
-  benchmark::DoNotOptimize(x);
-  state.counters["modeled_ns_per_lookup"] =
-      1e9 * dma.modeled_time() / static_cast<double>(state.iterations());
-}
-BENCHMARK(BM_TraditionalRowDma);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::title("micro_register_sharding",
+               "alloy-table layouts: resident vs sharded vs DMA per lookup");
+  bench::BenchHarness h("micro_register_sharding");
+
+  {
+    sw::RegisterMesh mesh;
+    pot::ShardedTableAccess access(tables().f(0, 1), mesh, /*my_core=*/27);
+    util::Rng rng(5);
+    double x = 0;
+    std::uint64_t lookups = 0;
+    h.time_per_op("sharded_register_lookup", [&] {
+      double v, d;
+      access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+      x += v;
+      ++lookups;
+    });
+    bench::keep(x);
+    const auto s = mesh.total_stats();
+    h.add_value("sharded_mesh_msgs_per_lookup", "msgs",
+                static_cast<double>(s.messages) /
+                    static_cast<double>(std::max<std::uint64_t>(1, lookups)));
+    h.add_value("sharded_modeled_ns_per_lookup", "ns/op",
+                1e9 * mesh.modeled_time(27) /
+                    static_cast<double>(std::max<std::uint64_t>(1, lookups)));
+  }
+
+  {
+    sw::LocalStore store;
+    sw::DmaEngine dma;
+    pot::CompactTableAccess access(tables().f(0, 1), store, dma, true);
+    util::Rng rng(5);
+    double x = 0;
+    h.time_per_op("resident_lookup_baseline", [&] {
+      double v, d;
+      access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+      x += v;
+    });
+    bench::keep(x);
+  }
+
+  {
+    sw::LocalStore store(512);  // no residency possible
+    sw::DmaEngine dma;
+    pot::CompactTableAccess access(tables().f(0, 1), store, dma, true);
+    util::Rng rng(5);
+    double x = 0;
+    std::uint64_t lookups = 0;
+    h.time_per_op("main_memory_window_dma", [&] {
+      double v, d;
+      access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+      x += v;
+      ++lookups;
+    });
+    bench::keep(x);
+    h.add_value("window_dma_modeled_ns_per_lookup", "ns/op",
+                1e9 * dma.modeled_time() /
+                    static_cast<double>(std::max<std::uint64_t>(1, lookups)));
+  }
+
+  {
+    sw::DmaEngine dma;
+    pot::CoefficientTableAccess access(tables().phi_trad, dma);
+    util::Rng rng(5);
+    double x = 0;
+    std::uint64_t lookups = 0;
+    h.time_per_op("traditional_row_dma", [&] {
+      double v, d;
+      access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+      x += v;
+      ++lookups;
+    });
+    bench::keep(x);
+    h.add_value("traditional_row_dma_modeled_ns_per_lookup", "ns/op",
+                1e9 * dma.modeled_time() /
+                    static_cast<double>(std::max<std::uint64_t>(1, lookups)));
+  }
+
+  return h.write();
+}

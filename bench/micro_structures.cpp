@@ -1,13 +1,14 @@
-// Microbenchmarks (google-benchmark) for the lattice data structures:
-// neighbor iteration over the lattice neighbor list vs the Verlet-list and
-// linked-cell baselines, and the run-away bookkeeping ablation the paper
-// calls out against [Hu 2017] — linked lists (O(N) re-homing via chained
-// hosts) vs a flat array of run-aways (O(N^2) mutual search).
-
-#include <benchmark/benchmark.h>
+// Microbenchmarks (BenchHarness) for the lattice data structures: neighbor
+// iteration over the lattice neighbor list vs the Verlet-list and linked-cell
+// baselines, and the run-away bookkeeping ablation the paper calls out
+// against [Hu 2017] — linked lists (O(N) re-homing via chained hosts) vs a
+// flat array of run-aways (O(N^2) mutual search). Emits
+// BENCH_micro_structures.json for tools/mmd_perf_diff.
 
 #include <vector>
 
+#include "bench_common.h"
+#include "harness.h"
 #include "lattice/lattice_neighbor_list.h"
 #include "lattice/verlet_list.h"
 #include "util/rng.h"
@@ -38,72 +39,67 @@ Crystal& crystal() {
   return c;
 }
 
-void BM_LnlNeighborIteration(benchmark::State& state) {
-  auto& c = crystal();
-  double acc = 0.0;
-  for (auto _ : state) {
-    for (std::size_t idx : c.lnl.owned_indices()) {
-      c.lnl.for_each_neighbor_of_entry(
-          idx, [&](const lat::ParticleView& p) { acc += p.r.x; });
-    }
-  }
-  benchmark::DoNotOptimize(acc);
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(c.lnl.owned_indices().size()));
-}
-BENCHMARK(BM_LnlNeighborIteration);
+}  // namespace
 
-void BM_VerletNeighborIteration(benchmark::State& state) {
+int main() {
+  bench::title("micro_structures",
+               "lattice neighbor structures and run-away bookkeeping ablation");
+  bench::BenchHarness h("micro_structures");
   auto& c = crystal();
-  lat::VerletNeighborList verlet(kCut, 0.6);
-  verlet.build(c.pos, c.geo.box_length());
-  double acc = 0.0;
-  for (auto _ : state) {
-    for (std::size_t i = 0; i < c.pos.size(); ++i) {
-      for (std::int32_t j : verlet.neighbors(i)) {
-        acc += c.pos[static_cast<std::size_t>(j)].x;
+
+  // One op = one full-lattice neighbor sweep, so the per-op time is
+  // comparable across the three structures at identical geometry.
+  {
+    double acc = 0.0;
+    h.time_per_op("lnl_neighbor_sweep", [&] {
+      for (std::size_t idx : c.lnl.owned_indices()) {
+        c.lnl.for_each_neighbor_of_entry(
+            idx, [&](const lat::ParticleView& p) { acc += p.r.x; });
       }
-    }
+    });
+    bench::keep(acc);
   }
-  benchmark::DoNotOptimize(acc);
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(c.pos.size()));
-}
-BENCHMARK(BM_VerletNeighborIteration);
 
-void BM_VerletRebuild(benchmark::State& state) {
-  auto& c = crystal();
-  lat::VerletNeighborList verlet(kCut, 0.6);
-  for (auto _ : state) {
+  {
+    lat::VerletNeighborList verlet(kCut, 0.6);
     verlet.build(c.pos, c.geo.box_length());
+    double acc = 0.0;
+    h.time_per_op("verlet_neighbor_sweep", [&] {
+      for (std::size_t i = 0; i < c.pos.size(); ++i) {
+        for (std::int32_t j : verlet.neighbors(i)) {
+          acc += c.pos[static_cast<std::size_t>(j)].x;
+        }
+      }
+    });
+    bench::keep(acc);
   }
-  benchmark::DoNotOptimize(verlet);
-}
-BENCHMARK(BM_VerletRebuild);
 
-void BM_LinkedCellIteration(benchmark::State& state) {
-  auto& c = crystal();
-  lat::LinkedCellList cells(kCut);
-  double acc = 0.0;
-  for (auto _ : state) {
-    cells.build(c.pos, c.geo.box_length());  // rebuilt every step (IMD-style)
-    for (std::size_t i = 0; i < c.pos.size(); ++i) {
-      cells.for_each_neighbor(i, [&](std::size_t, const util::Vec3& d) {
-        acc += d.x;
-      });
-    }
+  {
+    lat::VerletNeighborList verlet(kCut, 0.6);
+    h.time_per_op("verlet_rebuild",
+                  [&] { verlet.build(c.pos, c.geo.box_length()); });
+    bench::keep(verlet);
   }
-  benchmark::DoNotOptimize(acc);
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(c.pos.size()));
-}
-BENCHMARK(BM_LinkedCellIteration);
 
-/// Ablation: run-away neighbor discovery with chained hosts (ours / the
-/// paper's improvement) — each run-away checks only the chains in its host's
-/// neighbor region.
-void BM_RunawayChainedRehome(benchmark::State& state) {
-  const auto n_runaways = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    state.PauseTiming();
+  {
+    lat::LinkedCellList cells(kCut);
+    double acc = 0.0;
+    h.time_per_op("linked_cell_sweep", [&] {
+      cells.build(c.pos, c.geo.box_length());  // rebuilt every step (IMD-style)
+      for (std::size_t i = 0; i < c.pos.size(); ++i) {
+        cells.for_each_neighbor(i, [&](std::size_t, const util::Vec3& d) {
+          acc += d.x;
+        });
+      }
+    });
+    bench::keep(acc);
+  }
+
+  // Ablation: run-away neighbor discovery with chained hosts (the paper's
+  // improvement) — each run-away checks only the chains in its host's
+  // neighbor region. Detachment is done once per run-away count; the
+  // iteration itself does not mutate the list.
+  for (const int n_runaways : {16, 64, 256}) {
     lat::BccGeometry geo(12, 12, 12, kA);
     lat::LatticeNeighborList lnl(geo, lat::LocalBox{0, 0, 0, 12, 12, 12, 2}, kCut);
     lnl.fill_perfect(lat::Species::Fe);
@@ -115,42 +111,38 @@ void BM_RunawayChainedRehome(benchmark::State& state) {
            static_cast<int>(rng.uniform_index(12)), 0});
       if (lnl.entry(idx).is_atom()) lnl.detach(idx);
     }
-    state.ResumeTiming();
     double acc = 0.0;
-    lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t host) {
-      lnl.for_each_neighbor_of_runaway(ri, host, [&](const lat::ParticleView& p) {
-        acc += p.rho;
+    h.time_per_op("runaway_chained_rehome_" + std::to_string(n_runaways), [&] {
+      lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t host) {
+        lnl.for_each_neighbor_of_runaway(
+            ri, host, [&](const lat::ParticleView& p) { acc += p.rho; });
       });
     });
-    benchmark::DoNotOptimize(acc);
+    bench::keep(acc);
   }
-}
-BENCHMARK(BM_RunawayChainedRehome)->Arg(16)->Arg(64)->Arg(256);
 
-/// Ablation baseline: flat-array run-aways with no positional linkage — every
-/// run-away must test every other run-away (the O(N^2) cost of [Hu 2017]).
-void BM_RunawayFlatArrayPairs(benchmark::State& state) {
-  const auto n_runaways = static_cast<int>(state.range(0));
-  util::Rng rng(7);
-  std::vector<util::Vec3> runaways;
-  runaways.reserve(static_cast<std::size_t>(n_runaways));
-  for (int i = 0; i < n_runaways; ++i) {
-    runaways.push_back({rng.uniform(0, 12 * kA), rng.uniform(0, 12 * kA),
-                        rng.uniform(0, 12 * kA)});
-  }
-  const double cut2 = kCut * kCut;
-  for (auto _ : state) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < runaways.size(); ++i) {
-      for (std::size_t j = 0; j < runaways.size(); ++j) {
-        if (i != j && (runaways[i] - runaways[j]).norm2() < cut2) acc += 1.0;
-      }
+  // Ablation baseline: flat-array run-aways with no positional linkage —
+  // every run-away must test every other run-away (the O(N^2) cost of
+  // [Hu 2017]).
+  for (const int n_runaways : {16, 64, 256}) {
+    util::Rng rng(7);
+    std::vector<util::Vec3> runaways;
+    runaways.reserve(static_cast<std::size_t>(n_runaways));
+    for (int i = 0; i < n_runaways; ++i) {
+      runaways.push_back({rng.uniform(0, 12 * kA), rng.uniform(0, 12 * kA),
+                          rng.uniform(0, 12 * kA)});
     }
-    benchmark::DoNotOptimize(acc);
+    const double cut2 = kCut * kCut;
+    double acc = 0.0;
+    h.time_per_op("runaway_flat_array_pairs_" + std::to_string(n_runaways), [&] {
+      for (std::size_t i = 0; i < runaways.size(); ++i) {
+        for (std::size_t j = 0; j < runaways.size(); ++j) {
+          if (i != j && (runaways[i] - runaways[j]).norm2() < cut2) acc += 1.0;
+        }
+      }
+    });
+    bench::keep(acc);
   }
+
+  return h.write();
 }
-BENCHMARK(BM_RunawayFlatArrayPairs)->Arg(16)->Arg(64)->Arg(256);
-
-}  // namespace
-
-BENCHMARK_MAIN();

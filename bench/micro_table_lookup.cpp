@@ -1,10 +1,11 @@
-// Microbenchmarks (google-benchmark) for the interpolation-table machinery
-// of paper §2.1.2: compacted-resident vs compacted-window-DMA vs traditional
+// Microbenchmarks (BenchHarness) for the interpolation-table machinery of
+// paper §2.1.2: compacted-resident vs compacted-window-DMA vs traditional
 // row-DMA lookups, table construction, and the on-the-fly Hermite
-// reconstruction cost the compaction trades for DMA volume.
+// reconstruction cost the compaction trades for DMA volume. Emits
+// BENCH_micro_table_lookup.json for tools/mmd_perf_diff.
 
-#include <benchmark/benchmark.h>
-
+#include "bench_common.h"
+#include "harness.h"
 #include "potential/eam.h"
 #include "potential/table_access.h"
 #include "sunway/dma.h"
@@ -21,102 +22,107 @@ const pot::EamTableSet& tables() {
   return t;
 }
 
-void BM_CompactValueDirect(benchmark::State& state) {
-  const auto& phi = tables().phi(0, 0);
-  util::Rng rng(1);
-  double x = 0;
-  for (auto _ : state) {
-    const double r = 1.5 + 3.4 * rng.uniform();
-    double v, d;
-    phi.eval(r, &v, &d);
-    x += v + d;
-  }
-  benchmark::DoNotOptimize(x);
-}
-BENCHMARK(BM_CompactValueDirect);
-
-void BM_TraditionalValueDirect(benchmark::State& state) {
-  const auto& phi = tables().phi_trad;
-  util::Rng rng(1);
-  double x = 0;
-  for (auto _ : state) {
-    const double r = 1.5 + 3.4 * rng.uniform();
-    x += phi.value(r) + phi.derivative(r);
-  }
-  benchmark::DoNotOptimize(x);
-}
-BENCHMARK(BM_TraditionalValueDirect);
-
-void BM_CompactResidentLookup(benchmark::State& state) {
-  sw::LocalStore store;
-  sw::DmaEngine dma;
-  pot::CompactTableAccess access(tables().phi(0, 0), store, dma, true);
-  util::Rng rng(2);
-  double x = 0;
-  for (auto _ : state) {
-    double v, d;
-    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
-    x += v;
-  }
-  benchmark::DoNotOptimize(x);
-  state.counters["dma_ops"] = static_cast<double>(dma.stats().get_ops);
-}
-BENCHMARK(BM_CompactResidentLookup);
-
-void BM_CompactWindowDmaLookup(benchmark::State& state) {
-  sw::LocalStore store(1024);  // too small for residency
-  sw::DmaEngine dma;
-  pot::CompactTableAccess access(tables().phi(0, 0), store, dma, true);
-  util::Rng rng(3);
-  double x = 0;
-  for (auto _ : state) {
-    double v, d;
-    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
-    x += v;
-  }
-  benchmark::DoNotOptimize(x);
-  state.counters["dma_bytes_per_lookup"] =
-      static_cast<double>(dma.stats().get_bytes) /
-      static_cast<double>(std::max<std::uint64_t>(1, dma.stats().get_ops));
-}
-BENCHMARK(BM_CompactWindowDmaLookup);
-
-void BM_TraditionalRowDmaLookup(benchmark::State& state) {
-  sw::DmaEngine dma;
-  pot::CoefficientTableAccess access(tables().phi_trad, dma);
-  util::Rng rng(4);
-  double x = 0;
-  for (auto _ : state) {
-    double v, d;
-    access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
-    x += v;
-  }
-  benchmark::DoNotOptimize(x);
-  state.counters["dma_bytes_per_lookup"] =
-      static_cast<double>(dma.stats().get_bytes) /
-      static_cast<double>(std::max<std::uint64_t>(1, dma.stats().get_ops));
-}
-BENCHMARK(BM_TraditionalRowDmaLookup);
-
-void BM_BuildCompactTable(benchmark::State& state) {
-  const pot::EamModel fe = pot::EamModel::iron();
-  for (auto _ : state) {
-    auto t = pot::CompactTable::build([&](double r) { return fe.phi(0, 0, r); },
-                                      1.0, 5.0, static_cast<int>(state.range(0)));
-    benchmark::DoNotOptimize(t);
-  }
-}
-BENCHMARK(BM_BuildCompactTable)->Arg(1000)->Arg(5000);
-
-void BM_ExpandToCoefficients(benchmark::State& state) {
-  const auto& compact = tables().phi(0, 0);
-  for (auto _ : state) {
-    auto trad = compact.to_coefficients();
-    benchmark::DoNotOptimize(trad);
-  }
-}
-BENCHMARK(BM_ExpandToCoefficients);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::title("micro_table_lookup",
+               "EAM interpolation-table lookup and construction costs");
+  bench::BenchHarness h("micro_table_lookup");
+
+  {
+    const auto& phi = tables().phi(0, 0);
+    util::Rng rng(1);
+    double x = 0;
+    h.time_per_op("compact_value_direct", [&] {
+      const double r = 1.5 + 3.4 * rng.uniform();
+      double v, d;
+      phi.eval(r, &v, &d);
+      x += v + d;
+    });
+    bench::keep(x);
+  }
+
+  {
+    const auto& phi = tables().phi_trad;
+    util::Rng rng(1);
+    double x = 0;
+    h.time_per_op("traditional_value_direct", [&] {
+      const double r = 1.5 + 3.4 * rng.uniform();
+      x += phi.value(r) + phi.derivative(r);
+    });
+    bench::keep(x);
+  }
+
+  {
+    sw::LocalStore store;
+    sw::DmaEngine dma;
+    pot::CompactTableAccess access(tables().phi(0, 0), store, dma, true);
+    util::Rng rng(2);
+    double x = 0;
+    h.time_per_op("compact_resident_lookup", [&] {
+      double v, d;
+      access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+      x += v;
+    });
+    bench::keep(x);
+    h.add_value("compact_resident_dma_ops", "ops",
+                static_cast<double>(dma.stats().get_ops));
+  }
+
+  {
+    sw::LocalStore store(1024);  // too small for residency
+    sw::DmaEngine dma;
+    pot::CompactTableAccess access(tables().phi(0, 0), store, dma, true);
+    util::Rng rng(3);
+    double x = 0;
+    h.time_per_op("compact_window_dma_lookup", [&] {
+      double v, d;
+      access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+      x += v;
+    });
+    bench::keep(x);
+    h.add_value("compact_window_dma_bytes_per_lookup", "bytes",
+                static_cast<double>(dma.stats().get_bytes) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, dma.stats().get_ops)));
+  }
+
+  {
+    sw::DmaEngine dma;
+    pot::CoefficientTableAccess access(tables().phi_trad, dma);
+    util::Rng rng(4);
+    double x = 0;
+    h.time_per_op("traditional_row_dma_lookup", [&] {
+      double v, d;
+      access.eval(1.5 + 3.4 * rng.uniform(), &v, &d);
+      x += v;
+    });
+    bench::keep(x);
+    h.add_value("traditional_row_dma_bytes_per_lookup", "bytes",
+                static_cast<double>(dma.stats().get_bytes) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, dma.stats().get_ops)));
+  }
+
+  {
+    const pot::EamModel fe = pot::EamModel::iron();
+    for (const int segments : {1000, 5000}) {
+      h.time_call_ms(
+          "build_compact_table_" + std::to_string(segments), [&] {
+            auto t = pot::CompactTable::build(
+                [&](double r) { return fe.phi(0, 0, r); }, 1.0, 5.0, segments);
+            bench::keep(t);
+          });
+    }
+  }
+
+  {
+    const auto& compact = tables().phi(0, 0);
+    h.time_call_ms("expand_to_coefficients", [&] {
+      auto trad = compact.to_coefficients();
+      bench::keep(trad);
+    });
+  }
+
+  return h.write();
+}

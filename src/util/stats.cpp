@@ -1,6 +1,8 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace mmd::util {
 
@@ -9,6 +11,111 @@ double geometric_mean(const std::vector<double>& xs) {
   double log_sum = 0.0;
   for (double x : xs) log_sum += std::log(x);
   return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double median_abs_deviation(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::abs(x - m));
+  return median(std::move(dev));
+}
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("P2Quantile: p must be in (0, 1)");
+  }
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    q_[n_] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (int i = 0; i < 5; ++i) pos_[static_cast<std::size_t>(i)] = i + 1;
+      want_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing x, extending the extreme markers if needed.
+  std::size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x < q_[1]) {
+    k = 0;
+  } else if (x < q_[2]) {
+    k = 1;
+  } else if (x < q_[3]) {
+    k = 2;
+  } else if (x <= q_[4]) {
+    k = 3;
+  } else {
+    q_[4] = x;
+    k = 3;
+  }
+  ++n_;
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+
+  // Desired positions advance by {0, p/2, p, (1+p)/2, 1} per observation.
+  want_[1] += p_ / 2.0;
+  want_[2] += p_;
+  want_[3] += (1.0 + p_) / 2.0;
+  want_[4] += 1.0;
+
+  // Nudge the three middle markers toward their desired positions, with the
+  // piecewise-parabolic (P²) height update, falling back to linear when the
+  // parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double np = pos_[i + 1];
+      const double nm = pos_[i - 1];
+      const double ni = pos_[i];
+      const double qp = q_[i + 1];
+      const double qm = q_[i - 1];
+      const double qi = q_[i];
+      double cand = qi + s / (np - nm) *
+                             ((ni - nm + s) * (qp - qi) / (np - ni) +
+                              (np - ni - s) * (qi - qm) / (ni - nm));
+      if (!(qm < cand && cand < qp)) {
+        // Linear update toward the neighbor in the step direction.
+        const std::size_t j = s > 0.0 ? i + 1 : i - 1;
+        cand = qi + s * (q_[j] - qi) / (pos_[j] - ni);
+      }
+      q_[i] = cand;
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ >= 5) return q_[2];
+  // Exact small-sample quantile (nearest rank) over the buffered values.
+  std::array<double, 5> buf = q_;
+  std::sort(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n_));
+  const double rank = p_ * static_cast<double>(n_);
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  if (idx >= n_) idx = n_ - 1;
+  return buf[idx];
 }
 
 }  // namespace mmd::util

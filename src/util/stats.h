@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -83,8 +84,76 @@ class Histogram {
   std::map<std::int64_t, std::uint64_t> bins_;
 };
 
+/// Streaming estimate of a single quantile in O(1) memory — the P² algorithm
+/// of Jain & Chlamtac (CACM 1985): five markers track the quantile and its
+/// neighborhood, adjusted with a piecewise-parabolic fit as samples arrive.
+/// Exact for the first five observations; afterwards the estimate converges
+/// to the true quantile without storing the samples, which is what lets span
+/// distributions report tails (p95/p99) from a fixed-size accumulator.
+class P2Quantile {
+ public:
+  /// `p` in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  /// Current estimate; exact while count() <= 5, NaN-free 0.0 when empty.
+  double value() const;
+
+  std::size_t count() const { return n_; }
+  double probability() const { return p_; }
+
+ private:
+  double p_;
+  std::size_t n_ = 0;
+  std::array<double, 5> q_{};    // marker heights
+  std::array<double, 5> pos_{};  // actual marker positions (1-based)
+  std::array<double, 5> want_{}; // desired marker positions
+};
+
+/// RunningStats extended with P²-estimated tail quantiles (p50/p95/p99), so
+/// distribution summaries can report tails instead of just mean/min/max.
+/// Composition, not inheritance: RunningStats stays mergeable and POD-cheap
+/// for the hot metrics path; the tails only exist where someone asked for
+/// them (the telemetry analyzer, the bench harness).
+class QuantileStats {
+ public:
+  void add(double x) {
+    base_.add(x);
+    p50_.add(x);
+    p95_.add(x);
+    p99_.add(x);
+  }
+
+  const RunningStats& base() const { return base_; }
+  std::size_t count() const { return base_.count(); }
+  double mean() const { return base_.mean(); }
+  double variance() const { return base_.variance(); }
+  double min() const { return base_.min(); }
+  double max() const { return base_.max(); }
+
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
+  double p99() const { return p99_.value(); }
+
+ private:
+  RunningStats base_;
+  P2Quantile p50_{0.5};
+  P2Quantile p95_{0.95};
+  P2Quantile p99_{0.99};
+};
+
 /// Geometric mean of a series of ratios (used for the "improved by X% on
 /// average in geometric mean" comparisons in the paper's evaluation).
 double geometric_mean(const std::vector<double>& xs);
+
+/// Median of a series (copies and partially sorts; even length averages the
+/// middle pair). Returns 0.0 for an empty series.
+double median(std::vector<double> xs);
+
+/// Median absolute deviation around the median — the robust spread the bench
+/// harness records so perf diffs can derive a noise threshold. Consistent
+/// sigma estimate for normal data is 1.4826 * MAD.
+double median_abs_deviation(const std::vector<double>& xs);
 
 }  // namespace mmd::util

@@ -1,0 +1,18 @@
+# Run a command and require a specific exit code — ctest's plain COMMAND can
+# only assert zero/nonzero, but mmd_perf_diff's contract is the exact code
+# (0 pass, 2 usage, 3 warn, 4 fail) and mmd_run's is 1 on unwritable outputs.
+#
+#   cmake -DCMD=<binary> "-DARGS=a;b;c" -DEXPECTED=<code> -P check_exit_code.cmake
+if(NOT DEFINED CMD OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "check_exit_code.cmake requires -DCMD and -DEXPECTED")
+endif()
+execute_process(
+  COMMAND ${CMD} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc STREQUAL "${EXPECTED}")
+  message(FATAL_ERROR
+    "${CMD} exited with '${rc}', expected ${EXPECTED}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()

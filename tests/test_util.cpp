@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -182,6 +184,116 @@ TEST(Stats, GeometricMean) {
   EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
   EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
   EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, MedianOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianAbsDeviation) {
+  // xs = {1,2,3,4,100}: median 3, |xi - 3| = {2,1,0,1,97}, MAD = 1. The
+  // outlier moves the MAD not at all — that robustness is why the bench
+  // harness keys its noise gate on it.
+  EXPECT_DOUBLE_EQ(median_abs_deviation({1.0, 2.0, 3.0, 4.0, 100.0}), 1.0);
+  EXPECT_DOUBLE_EQ(median_abs_deviation({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(median_abs_deviation({}), 0.0);
+}
+
+namespace {
+
+double exact_quantile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * (static_cast<double>(xs.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace
+
+TEST(P2Quantile, RejectsOutOfRangeProbability) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, ExactForFirstFiveSamples) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);  // empty
+  q.add(5.0);
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+  q.add(1.0);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);  // nearest-rank on {1,3,5}
+  q.add(2.0);
+  q.add(4.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);  // exact median of {1..5}
+}
+
+TEST(P2Quantile, UniformStreamMatchesExactQuantiles) {
+  Rng r(2024);
+  std::vector<double> xs;
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = r.uniform();
+    xs.push_back(x);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), exact_quantile(xs, 0.5), 0.01);
+  EXPECT_NEAR(p95.value(), exact_quantile(xs, 0.95), 0.01);
+  EXPECT_NEAR(p99.value(), exact_quantile(xs, 0.99), 0.01);
+}
+
+TEST(P2Quantile, ExponentialTailWithinRelativeTolerance) {
+  // Heavy right tail — the case a mean-based summary hides and the p95/p99
+  // markers are for. P² stays within a few percent of the exact quantile.
+  Rng r(7);
+  std::vector<double> xs;
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = -std::log(1.0 - r.uniform());
+    xs.push_back(x);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value() / exact_quantile(xs, 0.5), 1.0, 0.05);
+  EXPECT_NEAR(p95.value() / exact_quantile(xs, 0.95), 1.0, 0.05);
+  EXPECT_NEAR(p99.value() / exact_quantile(xs, 0.99), 1.0, 0.05);
+}
+
+TEST(P2Quantile, AdversarialSortedStream) {
+  // Monotone input is the classic P² stress case: every sample lands past the
+  // last marker. The estimate must stay sane (within the data range and near
+  // the true quantile for a linear ramp).
+  P2Quantile p95(0.95);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) p95.add(static_cast<double>(i));
+  EXPECT_GE(p95.value(), 0.0);
+  EXPECT_LE(p95.value(), static_cast<double>(n - 1));
+  EXPECT_NEAR(p95.value() / (0.95 * (n - 1)), 1.0, 0.02);
+
+  P2Quantile p50(0.5);
+  for (int i = n; i > 0; --i) p50.add(static_cast<double>(i));  // descending
+  EXPECT_NEAR(p50.value() / (0.5 * n), 1.0, 0.05);
+}
+
+TEST(QuantileStats, ForwardsBaseAndTracksTails) {
+  QuantileStats s;
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+  EXPECT_NEAR(s.p50() / 500.0, 1.0, 0.05);
+  EXPECT_NEAR(s.p95() / 950.0, 1.0, 0.05);
+  EXPECT_NEAR(s.p99() / 990.0, 1.0, 0.05);
 }
 
 TEST(Units, ForceAccelConversionConsistency) {

@@ -4,14 +4,20 @@
 //
 //   mmd_run config.mmd
 //   mmd_run config.mmd --trace-out=trace.json --metrics-out=metrics.json
+//   mmd_run config.mmd --perf-report
+//   mmd_run config.mmd --perf-report=perf.json
 //   mmd_run config.mmd --checkpoint-dir=ckpt --checkpoint-every=10
 //   mmd_run config.mmd --checkpoint-dir=ckpt --resume
 //   mmd_run --print-defaults > config.mmd
 //
 // --trace-out writes a Chrome-trace JSON (load in chrome://tracing or
 // ui.perfetto.dev) with per-rank MD/KMC phase spans; --metrics-out writes the
-// flat metrics JSON (comm volumes, DMA traffic, timing split). See
-// docs/OBSERVABILITY.md.
+// flat metrics JSON (comm volumes, DMA traffic, timing split). --perf-report
+// analyzes the run's spans + metrics (per-phase critical path over ranks,
+// load-imbalance factor, p50/p95/p99 span tails, DMA-vs-compute overlap) and
+// prints the human-readable report; with =FILE it also writes the versioned
+// JSON form. All output files that cannot be opened fail the run with a
+// nonzero exit. See docs/OBSERVABILITY.md.
 //
 // --checkpoint-dir/--checkpoint-every enable periodic per-rank checkpoints
 // of the full coupled state; --resume restarts from the newest committed
@@ -33,10 +39,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/simulation.h"
+#include "telemetry/analysis.h"
 #include "telemetry/export.h"
 #include "telemetry/session.h"
 #include "util/key_value.h"
@@ -81,6 +89,8 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   int checkpoint_every = -1;  // -1: not given on the command line
   bool resume = false;
+  bool perf_report = false;
+  std::string perf_report_out;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +105,11 @@ int main(int argc, char** argv) {
       checkpoint_dir = arg.substr(17);
     } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
       checkpoint_every = std::stoi(arg.substr(19));
+    } else if (arg == "--perf-report") {
+      perf_report = true;
+    } else if (arg.rfind("--perf-report=", 0) == 0) {
+      perf_report = true;
+      perf_report_out = arg.substr(14);
     } else if (arg == "--resume") {
       resume = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -110,6 +125,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mmd_run <config-file> [--trace-out=FILE] "
                  "[--metrics-out=FILE]\n"
+                 "               [--perf-report[=FILE]]\n"
                  "               [--checkpoint-dir=DIR] "
                  "[--checkpoint-every=CYCLES] [--resume]\n"
                  "       mmd_run --print-defaults\n");
@@ -188,6 +204,20 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("wrote %s (metrics registry)\n", metrics_out.c_str());
+    }
+
+    if (perf_report) {
+      const auto perf =
+          telemetry::analyze(session.tracer(), session.metrics());
+      write_perf_report_text(std::cout, perf);
+      if (!perf_report_out.empty()) {
+        if (!telemetry::write_perf_report_json_file(perf_report_out, perf)) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       perf_report_out.c_str());
+          return 1;
+        }
+        std::printf("wrote %s (perf report)\n", perf_report_out.c_str());
+      }
     }
 
     if (!xyz_path.empty()) {
