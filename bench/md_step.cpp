@@ -1,0 +1,92 @@
+// BENCH_md_step — end-to-end MD step on the simulated core group: the
+// integration + ghost exchange + slave-core EAM force pipeline that PR 4's
+// fused-sweep kernel optimizes. One metric per force path (fused single-sweep
+// vs the two-pass pair/density reference shape) so mmd_perf_diff can track
+// the whole-step win, plus the force-phase DMA get traffic that drives it.
+//
+// Config notes: 12^3 cells (3456 atoms) keeps a timed step near a
+// millisecond; table_segments=1500 gives two 12 KB compact tables so the
+// fused sweep can stage BOTH resident in the 64 KB local store (the
+// authentic 5000-segment tables force the per-segment fallback, which
+// bench/fig09 and the tests cover).
+
+#include <array>
+
+#include "bench_common.h"
+#include "harness.h"
+#include "md/engine.h"
+#include "md/slave_force.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace mmd;
+
+int main() {
+  bench::title("BENCH_md_step", "end-to-end MD step, slave-core force path");
+  bench::BenchHarness h("md_step");
+
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 12;
+  cfg.temperature = 400.0;
+  cfg.table_segments = 1500;
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+
+  struct Mode {
+    const char* key;
+    bool fused;
+  };
+  constexpr std::array<Mode, 2> kModes = {{{"fused", true}, {"two_pass", false}}};
+
+  const int warm = std::max(1, h.options().warmup);
+  const int reps = h.options().repeats;
+
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    {
+      // Global throwaway warmup so the first measured mode does not absorb
+      // the process cold start (first-touch pages, CPU frequency ramp).
+      md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+      sw::SlaveCorePool pool(64);
+      md::SlaveForceCompute kernel(tables, pool,
+                                   md::AccelStrategy::CompactedReuse);
+      engine.use_slave_kernel(&kernel);
+      engine.initialize(comm);
+      engine.run(comm, std::max(2, warm));
+    }
+    for (const Mode& mode : kModes) {
+      md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+      sw::SlaveCorePool pool(64);
+      md::SlaveForceCompute kernel(tables, pool,
+                                   md::AccelStrategy::CompactedReuse);
+      kernel.set_fused(mode.fused);
+      engine.use_slave_kernel(&kernel);
+      engine.initialize(comm);
+      engine.run(comm, warm);
+
+      std::vector<double> wall_ms;
+      wall_ms.reserve(static_cast<std::size_t>(reps));
+      kernel.reset_stats();
+      for (int r = 0; r < reps; ++r) {
+        util::Timer t;
+        engine.run(comm, 1);
+        wall_ms.push_back(1e3 * t.elapsed());
+      }
+      const sw::DmaStats dma = kernel.dma_stats();
+      const std::string key(mode.key);
+      h.add_samples(key + "_step_ms", "ms", wall_ms);
+      h.add_value(key + "_modeled_ms_per_step", "ms",
+                  1e3 * kernel.modeled_time() / reps);
+      h.add_value(key + "_dma_get_mb_per_step", "MB",
+                  static_cast<double>(dma.get_bytes) / reps / 1e6);
+      h.add_value(key + "_dma_ops_per_step", "ops",
+                  static_cast<double>(dma.total_ops()) / reps);
+      bench::note("%-8s median %.3f ms/step, %.2f MB DMA-get/step",
+                  mode.key, util::median(wall_ms),
+                  static_cast<double>(dma.get_bytes) / reps / 1e6);
+    }
+  });
+
+  return h.write();
+}

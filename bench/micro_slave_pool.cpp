@@ -1,0 +1,72 @@
+// micro_slave_pool — dispatch overhead of the simulated CPE worker pool.
+//
+// Quantifies the two overheads the persistent-pool rework removes:
+//   * fork/join cost per run(): persistent parked workers vs constructing a
+//     fresh pool (thread spawn + join) around every invocation;
+//   * per-item std::function dispatch: parallel_for (one call per item) vs
+//     parallel_for_chunks (one call per core slab).
+//
+// Writes BENCH_micro_slave_pool.json for tools/mmd_perf_diff.
+
+#include <atomic>
+#include <cstddef>
+
+#include "harness.h"
+#include "sunway/slave_pool.h"
+
+int main() {
+  using namespace mmd;
+  bench::BenchHarness h("micro_slave_pool");
+
+  constexpr std::size_t kCores = 64;
+  constexpr std::size_t kStore = 4096;
+
+  // Fork/join of a no-op kernel on the persistent pool: pure barrier cost.
+  {
+    sw::SlaveCorePool pool(kCores, kStore);
+    std::atomic<std::uint64_t> sink{0};
+    h.time_per_op("run_noop_persistent", [&] {
+      pool.run([&](sw::SlaveCtx& ctx) {
+        sink.fetch_add(ctx.core_id, std::memory_order_relaxed);
+      });
+    });
+  }
+
+  // The pre-rework shape: spawn/join every OS thread per invocation (a cold
+  // pool per run). Kept as the comparison bar, not a usage pattern.
+  {
+    std::atomic<std::uint64_t> sink{0};
+    h.time_per_op("run_noop_cold_pool", [&] {
+      sw::SlaveCorePool pool(kCores, kStore);
+      pool.run([&](sw::SlaveCtx& ctx) {
+        sink.fetch_add(ctx.core_id, std::memory_order_relaxed);
+      });
+    });
+  }
+
+  // Per-item vs chunked dispatch over a slab-sized loop. The work per item is
+  // a few arithmetic ops, so the std::function call dominates per-item cost.
+  {
+    constexpr std::size_t kItems = 1 << 16;
+    sw::SlaveCorePool pool(kCores, kStore);
+    std::vector<double> data(kItems, 1.0);
+    std::atomic<std::uint64_t> sink{0};
+    h.time_per_op("parallel_for_per_item", [&] {
+      pool.parallel_for(kItems, [&](sw::SlaveCtx&, std::size_t i) {
+        data[i] = data[i] * 1.0000001 + 1e-9;
+      });
+      sink.fetch_add(1, std::memory_order_relaxed);
+    });
+    h.time_per_op("parallel_for_chunks", [&] {
+      pool.parallel_for_chunks(
+          kItems, [&](sw::SlaveCtx&, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              data[i] = data[i] * 1.0000001 + 1e-9;
+            }
+          });
+      sink.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  return h.write();
+}

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
 #include "potential/table_access.h"
+#include "telemetry/session.h"
 #include "util/timer.h"
 
 namespace mmd::md {
@@ -53,6 +55,7 @@ SlaveForceCompute::SlaveForceCompute(const pot::EamTableSet& tables,
 void SlaveForceCompute::reset_stats() {
   pool_->reset_stats();
   std::fill(compute_s_.begin(), compute_s_.end(), 0.0);
+  table_fallbacks_.store(0, std::memory_order_relaxed);
 }
 
 double SlaveForceCompute::compute_seconds() const {
@@ -64,8 +67,7 @@ double SlaveForceCompute::compute_seconds() const {
 double SlaveForceCompute::modeled_time() const {
   double worst = 0.0;
   for (std::size_t c = 0; c < pool_->size(); ++c) {
-    const double dma =
-        const_cast<sw::SlaveCorePool*>(pool_)->core(c).dma->modeled_time();
+    const double dma = pool_->core(c).dma->modeled_time();
     const double comp = compute_s_[c];
     const double t = strategy_ == AccelStrategy::CompactedReuseDouble
                          ? std::max(dma, comp)
@@ -90,26 +92,39 @@ void SlaveForceCompute::pack(const lat::LatticeNeighborList& lnl,
   }
 }
 
-void SlaveForceCompute::run_stage(lat::LatticeNeighborList& lnl, Stage stage,
-                                  std::vector<double>& out_scalar,
-                                  std::vector<util::Vec3>& out_vec) {
+void SlaveForceCompute::refresh_fprime(const lat::LatticeNeighborList& lnl) {
+  const auto& embed = tables_->embed_of(0);
+  for (std::size_t i = 0; i < lnl.size(); ++i) {
+    const lat::AtomEntry& e = lnl.entry(i);
+    packed_[i].fprime = e.is_atom() ? embed.derivative(e.rho) : 0.0;
+  }
+}
+
+template <SlaveForceCompute::Stage S, bool Traditional>
+void SlaveForceCompute::sweep(
+    lat::LatticeNeighborList& lnl,
+    std::vector<std::conditional_t<S == Stage::Rho, double, util::Vec3>>& out) {
+  using Out = std::conditional_t<S == Stage::Rho, double, util::Vec3>;
+  constexpr bool kFused = S == Stage::FusedForce;
   const lat::LocalBox box = lnl.box();
   const int h = box.halo;
   const int wy = 2 * h + 1;
   const int rows_per_window = wy * wy;
-  const bool scalar_out = stage == Stage::Rho;
-  if (scalar_out) {
-    out_scalar.assign(lnl.size(), 0.0);
-  } else {
-    out_vec.assign(lnl.size(), util::Vec3{});
-  }
-  const bool traditional = strategy_ == AccelStrategy::TraditionalTable;
+  // No zero-fill: every owned entry is overwritten by the result DMA puts
+  // below, and halo entries of the staging vectors are never read.
+  out.resize(lnl.size());
   const bool reuse = strategy_ == AccelStrategy::CompactedReuse ||
                      strategy_ == AccelStrategy::CompactedReuseDouble;
-  const pot::CompactTable& compact =
-      stage == Stage::PairForce ? tables_->phi(0, 0) : tables_->f(0, 0);
-  const pot::CoefficientTable& trad =
-      stage == Stage::PairForce ? tables_->phi_trad : tables_->f_trad;
+  // Primary table of the sweep: phi for the pair-interaction stages, f for
+  // the density ones. The fused sweep additionally needs f as secondary.
+  const pot::CompactTable& primary = (S == Stage::PairForce || kFused)
+                                         ? tables_->phi(0, 0)
+                                         : tables_->f(0, 0);
+  const pot::CompactTable& secondary = tables_->f(0, 0);
+  const pot::CoefficientTable& trad_primary = (S == Stage::PairForce || kFused)
+                                                  ? tables_->phi_trad
+                                                  : tables_->f_trad;
+  const pot::CoefficientTable& trad_secondary = tables_->f_trad;
   const double cutoff = tables_->cutoff;
   const double cut2 = cutoff * cutoff;
   const double r_min = tables_->r_min;
@@ -122,21 +137,45 @@ void SlaveForceCompute::run_stage(lat::LatticeNeighborList& lnl, Stage stage,
     sw::LocalStore& store = *ctx.local_store;
     sw::DmaEngine& dma = *ctx.dma;
 
-    // Table residency: the compacted table is staged whole (paper: "load the
+    // Table residency: compacted tables are staged whole (paper: "load the
     // whole compacted table into the local store at one time"); the
-    // traditional 273 KB table can never fit and stays in main memory.
-    pot::CompactTableAccess compact_access(compact, store, dma, !traditional);
-    pot::CoefficientTableAccess trad_access(trad, dma);
+    // traditional 273 KB table can never fit and stays in main memory. The
+    // fused sweep stages BOTH compact tables when they fit next to a minimal
+    // window; otherwise the secondary stays in main memory and each lookup
+    // DMAs its 6-sample span (counted as a fallback below).
+    // Smallest footprint a one-cell block needs next to the staged tables;
+    // a table is staged resident only when that much room is left over.
+    const std::size_t min_window_bytes =
+        static_cast<std::size_t>(1 + 2 * h) * 2 *
+            static_cast<std::size_t>(rows_per_window) * sizeof(Packed) +
+        2 * sizeof(Out) + 2048;
+    const bool want_primary =
+        !Traditional &&
+        store.remaining() >= primary.bytes() + min_window_bytes;
+    bool want_secondary = false;
+    if constexpr (kFused) {
+      want_secondary = want_primary &&
+                       store.remaining() >=
+                           primary.bytes() + secondary.bytes() + min_window_bytes;
+    }
+    pot::CompactTableAccess primary_access(primary, store, dma, want_primary);
+    pot::CompactTableAccess secondary_access(secondary, store, dma, want_secondary);
+    pot::CoefficientTableAccess trad_primary_access(trad_primary, dma);
+    pot::CoefficientTableAccess trad_secondary_access(trad_secondary, dma);
+    if constexpr (!Traditional) {
+      bool fallback = !primary_access.resident();
+      if constexpr (kFused) fallback = fallback || !secondary_access.resident();
+      if (fallback) table_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     // Block width: the largest bx whose window + output fit what is left of
     // the 64 KB store.
     const std::size_t budget = store.remaining() > 2048 ? store.remaining() - 2048 : 0;
-    const std::size_t out_entry_bytes = scalar_out ? sizeof(double) : sizeof(util::Vec3);
     int bx = 0;
     for (int cand = 1; cand <= box.lx; ++cand) {
       const std::size_t win_bytes = static_cast<std::size_t>(cand + 2 * h) * 2 *
                                     rows_per_window * sizeof(Packed);
-      const std::size_t out_bytes = static_cast<std::size_t>(cand) * 2 * out_entry_bytes;
+      const std::size_t out_bytes = static_cast<std::size_t>(cand) * 2 * sizeof(Out);
       if (win_bytes + out_bytes <= budget) bx = cand; else break;
     }
     if (bx == 0) {
@@ -147,8 +186,7 @@ void SlaveForceCompute::run_stage(lat::LatticeNeighborList& lnl, Stage stage,
     const std::size_t win_entries =
         static_cast<std::size_t>(row_cells) * 2 * rows_per_window;
     Packed* window = store.allocate_array<Packed>(win_entries);
-    void* out_buf = store.allocate(static_cast<std::size_t>(bx) * 2 * out_entry_bytes,
-                                   alignof(util::Vec3));
+    Out* out_buf = store.allocate_array<Out>(static_cast<std::size_t>(bx) * 2);
     if (window == nullptr || out_buf == nullptr) {
       throw std::runtime_error("SlaveForceCompute: local store allocation failed");
     }
@@ -210,8 +248,7 @@ void SlaveForceCompute::run_stage(lat::LatticeNeighborList& lnl, Stage stage,
                 (static_cast<std::size_t>(central_row) * row_cells + h + xi) * 2 +
                 static_cast<std::size_t>(sub);
             const Packed& c = window[wc];
-            double rho = 0.0;
-            util::Vec3 force{};
+            Out acc{};
             if (c.id >= 0.0) {
               for (const std::int64_t d : wdeltas[sub]) {
                 const Packed& nb = window[wc + static_cast<std::size_t>(d)];
@@ -220,71 +257,137 @@ void SlaveForceCompute::run_stage(lat::LatticeNeighborList& lnl, Stage stage,
                 const double r2 = dx * dx + dy2 * dy2 + dz2 * dz2;
                 if (r2 > cut2 || r2 == 0.0) continue;
                 const double r = std::max(std::sqrt(r2), r_min);
-                double val = 0.0, der = 0.0;
-                if (traditional) {
-                  trad_access.eval(r, &val, &der);
+                if constexpr (S == Stage::Rho) {
+                  double val = 0.0;
+                  if constexpr (Traditional) {
+                    trad_primary_access.eval(r, &val, nullptr);
+                  } else {
+                    primary_access.eval(r, &val, nullptr);
+                  }
+                  acc += val;
                 } else {
-                  compact_access.eval(r, &val, &der);
-                }
-                switch (stage) {
-                  case Stage::Rho:
-                    rho += val;
-                    break;
-                  case Stage::PairForce: {
-                    const double s = der / r;
-                    force += util::Vec3{dx, dy2, dz2} * s;
-                    break;
+                  double pder = 0.0;
+                  if constexpr (Traditional) {
+                    trad_primary_access.eval(r, nullptr, &pder);
+                  } else {
+                    primary_access.eval(r, nullptr, &pder);
                   }
-                  case Stage::DensForce: {
-                    const double s = (c.fprime + nb.fprime) * der / r;
-                    force += util::Vec3{dx, dy2, dz2} * s;
-                    break;
+                  double s;
+                  if constexpr (S == Stage::PairForce) {
+                    s = pder / r;
+                  } else if constexpr (S == Stage::DensForce) {
+                    s = (c.fprime + nb.fprime) * pder / r;
+                  } else {  // FusedForce: pder is phi'; also evaluate f'.
+                    double fder = 0.0;
+                    if constexpr (Traditional) {
+                      trad_secondary_access.eval(r, nullptr, &fder);
+                    } else {
+                      secondary_access.eval(r, nullptr, &fder);
+                    }
+                    s = (pder + (c.fprime + nb.fprime) * fder) / r;
                   }
+                  acc += util::Vec3{dx, dy2, dz2} * s;
                 }
               }
             }
-            const std::size_t oi = static_cast<std::size_t>(xi) * 2 +
-                                   static_cast<std::size_t>(sub);
-            if (scalar_out) {
-              static_cast<double*>(out_buf)[oi] = rho;
-            } else {
-              static_cast<util::Vec3*>(out_buf)[oi] = force;
-            }
+            out_buf[static_cast<std::size_t>(xi) * 2 +
+                    static_cast<std::size_t>(sub)] = acc;
           }
         }
         compute_s_[ctx.core_id] += timer.elapsed();
 
         // --- result transfer ---
         const std::size_t base = box.entry_index({x0, cy, cz, 0});
-        if (scalar_out) {
-          dma.put(out_scalar.data() + base, out_buf,
-                  static_cast<std::size_t>(bw) * 2 * sizeof(double));
-        } else {
-          dma.put(out_vec.data() + base, out_buf,
-                  static_cast<std::size_t>(bw) * 2 * sizeof(util::Vec3));
-        }
+        dma.put(out.data() + base, out_buf,
+                static_cast<std::size_t>(bw) * 2 * sizeof(Out));
       }
     }
   });
 }
 
+void SlaveForceCompute::run_scalar_stage(lat::LatticeNeighborList& lnl,
+                                         std::vector<double>& out_rho) {
+  const std::uint64_t before = table_fallbacks_.load(std::memory_order_relaxed);
+  if (strategy_ == AccelStrategy::TraditionalTable) {
+    sweep<Stage::Rho, true>(lnl, out_rho);
+  } else {
+    sweep<Stage::Rho, false>(lnl, out_rho);
+  }
+  fold_fallbacks(before);
+}
+
+void SlaveForceCompute::run_vector_stage(lat::LatticeNeighborList& lnl,
+                                         Stage stage,
+                                         std::vector<util::Vec3>& out_force) {
+  const std::uint64_t before = table_fallbacks_.load(std::memory_order_relaxed);
+  const bool trad = strategy_ == AccelStrategy::TraditionalTable;
+  switch (stage) {
+    case Stage::PairForce:
+      trad ? sweep<Stage::PairForce, true>(lnl, out_force)
+           : sweep<Stage::PairForce, false>(lnl, out_force);
+      break;
+    case Stage::DensForce:
+      trad ? sweep<Stage::DensForce, true>(lnl, out_force)
+           : sweep<Stage::DensForce, false>(lnl, out_force);
+      break;
+    case Stage::FusedForce:
+      trad ? sweep<Stage::FusedForce, true>(lnl, out_force)
+           : sweep<Stage::FusedForce, false>(lnl, out_force);
+      break;
+    case Stage::Rho:
+      throw std::logic_error("run_vector_stage: Rho writes a scalar output");
+  }
+  fold_fallbacks(before);
+}
+
+void SlaveForceCompute::fold_fallbacks(std::uint64_t before) {
+  const std::uint64_t fell =
+      table_fallbacks_.load(std::memory_order_relaxed) - before;
+  if (fell == 0) return;
+  // Fold from the rank thread (CPE workers must not touch metrics slots).
+  telemetry::count("sw.table.fallback", fell);
+  if (!fallback_logged_) {
+    fallback_logged_ = true;
+    std::fprintf(stderr,
+                 "mmd: slave force sweep: compact table(s) exceed the local "
+                 "store, using per-segment DMA lookups (%llu core-sweeps)\n",
+                 static_cast<unsigned long long>(fell));
+  }
+}
+
 void SlaveForceCompute::compute_rho(lat::LatticeNeighborList& lnl) {
   pack(lnl, /*with_fprime=*/false);
-  run_stage(lnl, Stage::Rho, rho_stage_, fpair_stage_);
+  run_scalar_stage(lnl, rho_stage_);
   for (std::size_t idx : lnl.owned_indices()) {
     lat::AtomEntry& e = lnl.entry(idx);
     if (e.is_atom()) e.rho = rho_stage_[idx];
   }
   complement_runaways_rho(lnl);
+  packed_fresh_ = true;
 }
 
 void SlaveForceCompute::compute_forces(lat::LatticeNeighborList& lnl) {
-  pack(lnl, /*with_fprime=*/true);
-  run_stage(lnl, Stage::PairForce, rho_stage_, fpair_stage_);
-  run_stage(lnl, Stage::DensForce, rho_stage_, fdens_stage_);
-  for (std::size_t idx : lnl.owned_indices()) {
-    lat::AtomEntry& e = lnl.entry(idx);
-    if (e.is_atom()) e.f = fpair_stage_[idx] + fdens_stage_[idx];
+  if (packed_fresh_ && packed_.size() == lnl.size()) {
+    // Positions have not moved since compute_rho packed them; only F'(rho)
+    // changed with the rho ghost exchange.
+    refresh_fprime(lnl);
+  } else {
+    pack(lnl, /*with_fprime=*/true);
+  }
+  packed_fresh_ = false;
+  if (fused_) {
+    run_vector_stage(lnl, Stage::FusedForce, fpair_stage_);
+    for (std::size_t idx : lnl.owned_indices()) {
+      lat::AtomEntry& e = lnl.entry(idx);
+      if (e.is_atom()) e.f = fpair_stage_[idx];
+    }
+  } else {
+    run_vector_stage(lnl, Stage::PairForce, fpair_stage_);
+    run_vector_stage(lnl, Stage::DensForce, fdens_stage_);
+    for (std::size_t idx : lnl.owned_indices()) {
+      lat::AtomEntry& e = lnl.entry(idx);
+      if (e.is_atom()) e.f = fpair_stage_[idx] + fdens_stage_[idx];
+    }
   }
   complement_runaways_force(lnl);
 }

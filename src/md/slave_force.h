@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "lattice/lattice_neighbor_list.h"
@@ -25,14 +27,29 @@ std::string to_string(AccelStrategy s);
 /// The subdomain is split into slabs (one per slave core: a contiguous chunk
 /// of owned (y,z) cell rows); each slab is processed in blocks of `bx` cells
 /// along x. Per block the core DMAs a packed window of (bx+2h)(2h+1)^2 cells
-/// into its local store, evaluates one table stage, and DMAs the results
-/// back. The three interpolation tables are accessed sequentially, one pass
-/// per table, so the resident compacted table is always the single table the
-/// stage needs:
-///   pass RHO        : density table   -> rho_i
-///   (MPE)           : embedding table -> F'(rho_i), packed with positions
-///   pass PAIR-FORCE : pair table      -> sum phi'(r) d_hat
-///   pass DENS-FORCE : density table   -> sum (F'_i + F'_j) f'(r) d_hat
+/// into its local store, evaluates the stage's table(s), and DMAs the results
+/// back.
+///
+/// Stage -> table(s) -> output mapping (each sweep writes exactly ONE output
+/// array; see run_scalar_stage / run_vector_stage):
+///   sweep RHO         : density table f          -> rho_i           (scalar)
+///   (MPE)             : embedding table          -> F'(rho_i), packed
+///   sweep FUSED-FORCE : pair phi AND density f   -> full EAM force  (vector)
+/// and, for the unfused two-pass shape kept for comparison benches:
+///   sweep PAIR-FORCE  : pair table phi           -> sum phi'(r) d_hat
+///   sweep DENS-FORCE  : density table f          -> sum (F'_i + F'_j) f'(r) d_hat
+///
+/// The fused sweep (default) walks the block window ONCE per force
+/// evaluation, evaluating both compact tables per pair — half the window DMA
+/// get traffic of the two-pass shape. Both tables are staged resident in the
+/// local store when they fit next to a minimal window; otherwise the
+/// non-resident table falls back to per-segment DMA lookups (counted in
+/// table_fallbacks() and the sw.table.fallback telemetry counter — at the
+/// authentic 2x39 KB table sizes the 64 KB store cannot hold both).
+///
+/// One packed array serves a whole step: compute_rho packs positions once and
+/// compute_forces refreshes only the F'(rho) field after the rho ghost
+/// exchange (positions cannot have changed in between).
 ///
 /// Run-away atoms (a few millionths of all atoms) are handled on the master
 /// core as a complement pass; physics is identical to ReferenceForce up to
@@ -47,6 +64,18 @@ class SlaveForceCompute {
 
   AccelStrategy strategy() const { return strategy_; }
 
+  /// Toggle the fused single-sweep force kernel (default on). Off restores
+  /// the two-pass pair/density shape — kept so benches and tests can measure
+  /// the fusion win on identical inputs.
+  void set_fused(bool on) { fused_ = on; }
+  bool fused() const { return fused_; }
+
+  /// Number of core-sweeps that could not keep every wanted compact table
+  /// resident and fell back to per-segment DMA lookups.
+  std::uint64_t table_fallbacks() const {
+    return table_fallbacks_.load(std::memory_order_relaxed);
+  }
+
   /// Aggregated DMA statistics from the pool since the last reset.
   sw::DmaStats dma_stats() const { return pool_->aggregate_dma_stats(); }
   void reset_stats();
@@ -54,7 +83,9 @@ class SlaveForceCompute {
   /// Modeled Sunway time of everything executed since the last reset: the
   /// critical-path core's DMA cost (alpha-beta model) combined with its
   /// measured compute time — summed for the serial strategies, overlapped
-  /// (max) for the double-buffered one.
+  /// (max) for the double-buffered one. The DMA ledger already reflects the
+  /// executed sweep shape (one window pass when fused, two when not), so the
+  /// overlap model needs no fused-specific term.
   double modeled_time() const;
 
   /// Measured compute seconds on the critical-path core.
@@ -69,23 +100,48 @@ class SlaveForceCompute {
     double id;      ///< global id; negative marks a vacancy (bit-exact in double)
   };
 
-  enum class Stage { Rho, PairForce, DensForce };
+  enum class Stage { Rho, PairForce, DensForce, FusedForce };
 
   void pack(const lat::LatticeNeighborList& lnl, bool with_fprime);
-  void run_stage(lat::LatticeNeighborList& lnl, Stage stage,
-                 std::vector<double>& out_scalar,
-                 std::vector<util::Vec3>& out_vec);
+  /// Rewrite only the F'(rho) field of an already packed array (the rho
+  /// exchange between the two phases of a step changes nothing else).
+  void refresh_fprime(const lat::LatticeNeighborList& lnl);
+
+  /// One slave-core window sweep. Stage::Rho writes per-entry densities into
+  /// `out_rho`; the force stages write per-entry force (partial for
+  /// Pair/DensForce, total for FusedForce) into `out_force`. Each overload
+  /// accepts only the stages that produce its output type.
+  void run_scalar_stage(lat::LatticeNeighborList& lnl,
+                        std::vector<double>& out_rho);
+  void run_vector_stage(lat::LatticeNeighborList& lnl, Stage stage,
+                        std::vector<util::Vec3>& out_force);
+
+  /// Fold table-residency fallbacks recorded since `before` into telemetry
+  /// (rank thread only) and log the first occurrence.
+  void fold_fallbacks(std::uint64_t before);
+
+  /// The stage kernel, with the per-pair stage/table-format branches hoisted
+  /// into template parameters so they resolve at compile time.
+  template <Stage S, bool Traditional>
+  void sweep(lat::LatticeNeighborList& lnl,
+             std::vector<std::conditional_t<S == Stage::Rho, double,
+                                            util::Vec3>>& out);
+
   void complement_runaways_rho(lat::LatticeNeighborList& lnl) const;
   void complement_runaways_force(lat::LatticeNeighborList& lnl) const;
 
   const pot::EamTableSet* tables_;
   sw::SlaveCorePool* pool_;
   AccelStrategy strategy_;
+  bool fused_ = true;
   std::vector<Packed> packed_;       ///< main-memory staging, entry-indexed
+  bool packed_fresh_ = false;        ///< packed_ holds this step's positions
   std::vector<double> rho_stage_;
   std::vector<util::Vec3> fpair_stage_;
   std::vector<util::Vec3> fdens_stage_;
   std::vector<double> compute_s_;    ///< per-core measured compute seconds
+  std::atomic<std::uint64_t> table_fallbacks_{0};
+  bool fallback_logged_ = false;
 };
 
 }  // namespace mmd::md

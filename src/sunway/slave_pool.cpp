@@ -1,8 +1,6 @@
 #include "sunway/slave_pool.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
@@ -29,9 +27,63 @@ SlaveCorePool::SlaveCorePool(std::size_t num_slave_cores,
   const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   os_threads_ = max_os_threads == 0 ? std::min(hw, num_slave_cores)
                                     : std::min(max_os_threads, num_slave_cores);
+  os_threads_ = std::max<std::size_t>(1, os_threads_);
+  workers_.reserve(os_threads_ - 1);
+  for (std::size_t t = 1; t < os_threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
 }
 
-SlaveCorePool::~SlaveCorePool() = default;
+SlaveCorePool::~SlaveCorePool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void SlaveCorePool::drain_cores() {
+  try {
+    for (std::size_t i = next_core_.fetch_add(1); i < cores_.size();
+         i = next_core_.fetch_add(1)) {
+      ctxs_[i]->local_store->reset();
+      if (job_tracer_ != nullptr) {
+        job_tracer_->attach_calling_thread(job_parent_rank_,
+                                           1 + static_cast<int>(i));
+        const DmaStats d0 = cores_[i].dma->stats();
+        telemetry::ScopedSpan span("cpe.kernel");
+        (*job_)(*ctxs_[i]);
+        const DmaStats d1 = cores_[i].dma->stats();
+        span.set_dma(d1.total_ops() - d0.total_ops(),
+                     d1.total_bytes() - d0.total_bytes());
+      } else {
+        (*job_)(*ctxs_[i]);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void SlaveCorePool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    drain_cores();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
 
 void SlaveCorePool::run(const std::function<void(SlaveCtx&)>& fn) {
   if (cores_.empty()) return;
@@ -47,36 +99,34 @@ void SlaveCorePool::run(const std::function<void(SlaveCtx&)>& fn) {
   const int metrics_rank = telemetry::attached_metrics_rank();
   const DmaStats dma_before = aggregate_dma_stats();
 
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < cores_.size();
-         i = next.fetch_add(1)) {
-      ctxs_[i]->local_store->reset();
-      if (tracing) {
-        tracer->attach_calling_thread(parent.rank, 1 + static_cast<int>(i));
-        const DmaStats d0 = cores_[i].dma->stats();
-        telemetry::ScopedSpan span("cpe.kernel");
-        fn(*ctxs_[i]);
-        const DmaStats d1 = cores_[i].dma->stats();
-        span.set_dma(d1.total_ops() - d0.total_ops(),
-                     d1.total_bytes() - d0.total_bytes());
-      } else {
-        fn(*ctxs_[i]);
-      }
-    }
-  };
-  if (os_threads_ <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(os_threads_ - 1);
-    for (std::size_t t = 1; t < os_threads_; ++t) threads.emplace_back(worker);
-    worker();
-    for (auto& t : threads) t.join();
+  // Publish the job and release the parked workers (the mutex orders the
+  // job/next_core_ writes before any worker observes the new epoch).
+  next_core_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_tracer_ = tracing ? tracer : nullptr;
+    job_parent_rank_ = parent.rank;
+    first_error_ = nullptr;
+    workers_done_ = 0;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread executes its share, then joins the barrier.
+  drain_cores();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return workers_done_ == workers_.size(); });
+    job_ = nullptr;
+    job_tracer_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
   }
 
   if (tracing) {
-    // The calling thread ran worker() too and re-bound itself to CPE lanes;
+    // The calling thread ran kernels too and re-bound itself to CPE lanes;
     // restore its master-lane binding before touching the registry.
     tracer->attach_calling_thread(parent.rank, parent.lane);
     if (metrics_rank >= 0) {
@@ -88,17 +138,26 @@ void SlaveCorePool::run(const std::function<void(SlaveCtx&)>& fn) {
       m.add(metrics_rank, "sw.dma.put_bytes", d.put_bytes - dma_before.put_bytes);
     }
   }
+  if (error) std::rethrow_exception(error);
 }
 
-void SlaveCorePool::parallel_for(
-    std::size_t n, const std::function<void(SlaveCtx&, std::size_t)>& fn) {
+void SlaveCorePool::parallel_for_chunks(
+    std::size_t n,
+    const std::function<void(SlaveCtx&, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t cores = cores_.size();
   run([&](SlaveCtx& ctx) {
     // Contiguous slab per core, like the paper's subdomain-into-slabs split.
     const std::size_t chunk = (n + cores - 1) / cores;
-    const std::size_t begin = ctx.core_id * chunk;
+    const std::size_t begin = std::min(n, ctx.core_id * chunk);
     const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) fn(ctx, begin, end);
+  });
+}
+
+void SlaveCorePool::parallel_for(
+    std::size_t n, const std::function<void(SlaveCtx&, std::size_t)>& fn) {
+  parallel_for_chunks(n, [&](SlaveCtx& ctx, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) fn(ctx, i);
   });
 }

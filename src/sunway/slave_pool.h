@@ -1,12 +1,22 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "sunway/dma.h"
 #include "sunway/local_store.h"
+
+namespace mmd::telemetry {
+class Tracer;
+}
 
 namespace mmd::sw {
 
@@ -25,6 +35,15 @@ struct SlaveCtx {
 /// `num_slave_cores` logical CPEs are multiplexed onto at most
 /// `max_os_threads` OS threads; each logical core keeps its own LocalStore
 /// and DmaEngine across invocations so stats accumulate per core.
+///
+/// The OS threads are PERSISTENT: spawned once in the constructor and parked
+/// on a condition variable between invocations, so each `run()` costs one
+/// fork/join barrier instead of a spawn/join of every thread (an MD step
+/// issues 2-3 kernel launches — at the old per-run spawn cost the dispatch
+/// overhead was a measurable slice of small steps). The calling thread
+/// participates as one executor, exactly as on the Sunway MPE. Exceptions
+/// thrown by the kernel on any executor are captured and the first one is
+/// rethrown from `run()` after the join; the pool stays usable afterwards.
 class SlaveCorePool {
  public:
   static constexpr std::size_t kSunwayCoreGroupSize = 64;
@@ -44,9 +63,18 @@ class SlaveCorePool {
   void run(const std::function<void(SlaveCtx&)>& fn);
 
   /// Static partition of tasks [0, n) over the slave cores; each core
-  /// processes a contiguous chunk (the paper's slab decomposition).
+  /// processes a contiguous chunk (the paper's slab decomposition). The
+  /// callback is invoked through a std::function per ITEM — for hot loops
+  /// prefer parallel_for_chunks, which dispatches once per core.
   void parallel_for(std::size_t n,
                     const std::function<void(SlaveCtx&, std::size_t)>& fn);
+
+  /// Chunked variant of parallel_for: `fn(ctx, begin, end)` is invoked at
+  /// most once per core with that core's contiguous slab [begin, end), so
+  /// the per-item std::function dispatch is amortized over the whole chunk.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(SlaveCtx&, std::size_t, std::size_t)>& fn);
 
   /// Aggregate DMA statistics over all slave cores.
   DmaStats aggregate_dma_stats() const;
@@ -57,8 +85,12 @@ class SlaveCorePool {
 
   void reset_stats();
 
-  /// Direct access to one core's context (for tests).
+  /// Direct access to one core's context (for tests and cost-model readers).
   SlaveCtx& core(std::size_t i) { return *ctxs_[i]; }
+  const SlaveCtx& core(std::size_t i) const { return *ctxs_[i]; }
+
+  /// Number of OS threads executing kernels (including the calling thread).
+  std::size_t os_threads() const { return os_threads_; }
 
  private:
   struct Core {
@@ -66,9 +98,33 @@ class SlaveCorePool {
     std::unique_ptr<DmaEngine> dma;
   };
 
+  /// Pull logical cores off the shared counter until the epoch's work is
+  /// exhausted; called by the rank thread and every parked worker.
+  void drain_cores();
+  void worker_loop();
+
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<SlaveCtx>> ctxs_;
   std::size_t os_threads_;
+
+  // Persistent-worker barrier state. `epoch_` names the current run();
+  // workers park on work_cv_ until it advances, the caller parks on done_cv_
+  // until every worker has drained the epoch.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t workers_done_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+
+  // The in-flight job (valid while an epoch is active). Kernel + telemetry
+  // binding are published under mu_ before the epoch advances.
+  const std::function<void(SlaveCtx&)>* job_ = nullptr;
+  telemetry::Tracer* job_tracer_ = nullptr;
+  int job_parent_rank_ = -1;
+  std::atomic<std::size_t> next_core_{0};
 };
 
 }  // namespace mmd::sw

@@ -29,18 +29,30 @@ struct Rig {
             pot::EamModel::iron(c.lattice_constant, c.cutoff), c.table_segments)) {}
 };
 
+struct CompareOpts {
+  bool fused = false;
+  bool with_runaways = false;
+  int box_cells = 6;
+  int table_segments = 5000;
+  std::size_t store_bytes = sw::LocalStore::kSunwayCapacity;
+  double tol_rho = 1e-10;
+  double tol_f = 1e-9;
+  sw::DmaStats* stats_out = nullptr;
+  std::uint64_t* fallbacks_out = nullptr;
+};
+
 /// Reference forces vs slave-kernel forces on the same perturbed crystal.
-void compare_forces(AccelStrategy strategy, sw::DmaStats* stats_out = nullptr,
-                    bool with_runaways = false, int box_cells = 6) {
+void compare_forces(AccelStrategy strategy, const CompareOpts& opt = {}) {
   MdConfig cfg = accel_config();
-  cfg.nx = cfg.ny = cfg.nz = box_cells;
+  cfg.nx = cfg.ny = cfg.nz = opt.box_cells;
+  cfg.table_segments = opt.table_segments;
   Rig rig(cfg);
   comm::World world(1);
   world.run([&](comm::Comm& comm) {
     MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
     engine.initialize(comm);
     engine.run(comm, 5);  // develop thermal displacements
-    if (with_runaways) {
+    if (opt.with_runaways) {
       auto& lnl = engine.lattice();
       const std::size_t idx = lnl.box().entry_index({3, 3, 3, 0});
       lnl.entry(idx).r += util::Vec3{0.4, 0.2, 0.1};
@@ -65,8 +77,9 @@ void compare_forces(AccelStrategy strategy, sw::DmaStats* stats_out = nullptr,
     }
 
     // Slave pass.
-    sw::SlaveCorePool pool(8);
+    sw::SlaveCorePool pool(8, opt.store_bytes);
     SlaveForceCompute slave(rig.tables, pool, strategy);
+    slave.set_fused(opt.fused);
     slave.compute_rho(lnl);
     ghosts.exchange_rho(comm);
     slave.compute_forces(lnl);
@@ -77,9 +90,10 @@ void compare_forces(AccelStrategy strategy, sw::DmaStats* stats_out = nullptr,
       max_rho_err = std::max(max_rho_err, std::abs(lnl.entry(i).rho - rho_ref[i]));
       max_f_err = std::max(max_f_err, (lnl.entry(i).f - f_ref[i]).norm());
     }
-    EXPECT_LT(max_rho_err, 1e-10);
-    EXPECT_LT(max_f_err, 1e-9);
-    if (stats_out != nullptr) *stats_out = slave.dma_stats();
+    EXPECT_LT(max_rho_err, opt.tol_rho);
+    EXPECT_LT(max_f_err, opt.tol_f);
+    if (opt.stats_out != nullptr) *opt.stats_out = slave.dma_stats();
+    if (opt.fallbacks_out != nullptr) *opt.fallbacks_out = slave.table_fallbacks();
   });
 }
 
@@ -100,15 +114,83 @@ TEST(SlaveForce, DoubleBufferMatchesReference) {
 }
 
 TEST(SlaveForce, MatchesReferenceWithRunaways) {
-  compare_forces(AccelStrategy::CompactedReuse, nullptr, /*with_runaways=*/true);
+  CompareOpts opt;
+  opt.with_runaways = true;
+  compare_forces(AccelStrategy::CompactedReuse, opt);
+}
+
+// The fused single-sweep kernel evaluates the SAME per-pair expression as
+// ReferenceForce ((phi' + (F'_i + F'_j) f') / r, identical neighbor order),
+// so compact-table strategies agree to round-off. The traditional 7-column
+// coefficient format reconstructs the polynomial differently from the
+// reference spline, so its (fusion-independent) error floor is larger.
+class SlaveForceFused : public ::testing::TestWithParam<AccelStrategy> {};
+
+TEST_P(SlaveForceFused, MatchesReference) {
+  CompareOpts opt;
+  opt.fused = true;
+  const bool trad = GetParam() == AccelStrategy::TraditionalTable;
+  opt.tol_rho = trad ? 1e-10 : 1e-12;
+  opt.tol_f = trad ? 1e-9 : 1e-12;
+  compare_forces(GetParam(), opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, SlaveForceFused,
+    ::testing::Values(AccelStrategy::TraditionalTable,
+                      AccelStrategy::CompactedTable,
+                      AccelStrategy::CompactedReuse,
+                      AccelStrategy::CompactedReuseDouble),
+    [](const auto& param_info) {
+      switch (param_info.param) {
+        case AccelStrategy::TraditionalTable: return "Traditional";
+        case AccelStrategy::CompactedTable: return "Compacted";
+        case AccelStrategy::CompactedReuse: return "CompactedReuse";
+        case AccelStrategy::CompactedReuseDouble: return "CompactedReuseDouble";
+      }
+      return "Unknown";
+    });
+
+TEST(SlaveForce, FusedFallbackWithTinyStoreMatchesReference) {
+  // A 48 KB store cannot hold both authentic ~40 KB compact tables: the
+  // secondary falls back to per-segment DMA lookups. Physics must not change,
+  // with run-aways in the mix, and the fallback must be counted.
+  CompareOpts opt;
+  opt.fused = true;
+  opt.with_runaways = true;
+  opt.store_bytes = 48 * 1024;
+  opt.tol_rho = 1e-12;
+  opt.tol_f = 1e-12;
+  std::uint64_t fallbacks = 0;
+  opt.fallbacks_out = &fallbacks;
+  compare_forces(AccelStrategy::CompactedReuse, opt);
+  EXPECT_GT(fallbacks, 0u);
+}
+
+TEST(SlaveForce, FusedStaysResidentWhenBothTablesFit) {
+  // At 1500 segments the two ~12 KB tables fit the 64 KB store together with
+  // the window: no fallback.
+  CompareOpts opt;
+  opt.fused = true;
+  opt.table_segments = 1500;
+  opt.tol_rho = 1e-12;
+  opt.tol_f = 1e-12;
+  std::uint64_t fallbacks = 0;
+  opt.fallbacks_out = &fallbacks;
+  compare_forces(AccelStrategy::CompactedReuse, opt);
+  EXPECT_EQ(fallbacks, 0u);
 }
 
 TEST(SlaveForce, CompactedUsesFarFewerDmaOps) {
-  sw::DmaStats trad, compact;
-  compare_forces(AccelStrategy::TraditionalTable, &trad);
-  compare_forces(AccelStrategy::CompactedTable, &compact);
   // The whole point of table compaction (paper Fig. 9): per-lookup row DMAs
-  // vanish once the compact table is resident.
+  // vanish once the compact table is resident. Measured on the two-pass
+  // shape, which stages exactly one table per sweep (the paper's design).
+  sw::DmaStats trad, compact;
+  CompareOpts opt;
+  opt.stats_out = &trad;
+  compare_forces(AccelStrategy::TraditionalTable, opt);
+  opt.stats_out = &compact;
+  compare_forces(AccelStrategy::CompactedTable, opt);
   EXPECT_GT(trad.get_ops, 10u * compact.get_ops)
       << "traditional=" << trad.get_ops << " compacted=" << compact.get_ops;
 }
@@ -116,9 +198,81 @@ TEST(SlaveForce, CompactedUsesFarFewerDmaOps) {
 TEST(SlaveForce, ReuseReducesDmaBytes) {
   // Needs a box wider than one block along x, or there is nothing to reuse.
   sw::DmaStats plain, reuse;
-  compare_forces(AccelStrategy::CompactedTable, &plain, false, 12);
-  compare_forces(AccelStrategy::CompactedReuse, &reuse, false, 12);
+  CompareOpts opt;
+  opt.box_cells = 12;
+  opt.stats_out = &plain;
+  compare_forces(AccelStrategy::CompactedTable, opt);
+  opt.stats_out = &reuse;
+  compare_forces(AccelStrategy::CompactedReuse, opt);
   EXPECT_LT(reuse.get_bytes, plain.get_bytes);
+}
+
+TEST(SlaveForce, FusedSweepCutsForcePhaseGetBytesByFortyPercent) {
+  // The acceptance bar of the fused-sweep PR: one window pass instead of two
+  // must drop force-phase DMA get bytes by >= 40% on identical inputs (both
+  // tables resident at 1500 segments).
+  MdConfig cfg = accel_config();
+  cfg.nx = cfg.ny = cfg.nz = 10;
+  cfg.table_segments = 1500;
+  Rig rig(cfg);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    engine.run(comm, 2);
+    auto& lnl = engine.lattice();
+    lat::GhostExchange ghosts(lnl, rig.setup.dd, comm.rank());
+
+    auto force_phase_get_bytes = [&](bool fused) {
+      sw::SlaveCorePool pool(8);
+      SlaveForceCompute slave(rig.tables, pool, AccelStrategy::CompactedReuse);
+      slave.set_fused(fused);
+      slave.compute_rho(lnl);
+      ghosts.exchange_rho(comm);
+      slave.reset_stats();  // isolate the force phase
+      slave.compute_forces(lnl);
+      EXPECT_EQ(slave.table_fallbacks(), 0u);
+      return slave.dma_stats().get_bytes;
+    };
+
+    const std::uint64_t two_pass = force_phase_get_bytes(false);
+    const std::uint64_t fused = force_phase_get_bytes(true);
+    EXPECT_LE(static_cast<double>(fused), 0.6 * static_cast<double>(two_pass))
+        << "fused=" << fused << " two_pass=" << two_pass;
+  });
+}
+
+TEST(SlaveForce, ComputeForcesAloneRepacksPositions) {
+  // compute_forces without a preceding compute_rho (no fresh packed array)
+  // must fall back to a full pack and still match the reference.
+  MdConfig cfg = accel_config();
+  Rig rig(cfg);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    MdEngine engine(cfg, rig.setup.geo, rig.setup.dd, rig.tables, comm.rank());
+    engine.initialize(comm);
+    engine.run(comm, 3);
+    auto& lnl = engine.lattice();
+    lat::GhostExchange ghosts(lnl, rig.setup.dd, comm.rank());
+
+    ReferenceForce ref(rig.tables);
+    ref.compute_rho(lnl);
+    ghosts.exchange_rho(comm);
+    ref.compute_forces(lnl);
+    std::vector<util::Vec3> f_ref(lnl.size());
+    for (std::size_t i : lnl.owned_indices()) f_ref[i] = lnl.entry(i).f;
+
+    // rho (and its ghosts) are already in place; call compute_forces cold.
+    sw::SlaveCorePool pool(4);
+    SlaveForceCompute slave(rig.tables, pool, AccelStrategy::CompactedReuse);
+    slave.compute_forces(lnl);
+    double max_err = 0.0;
+    for (std::size_t i : lnl.owned_indices()) {
+      if (!lnl.entry(i).is_atom()) continue;
+      max_err = std::max(max_err, (lnl.entry(i).f - f_ref[i]).norm());
+    }
+    EXPECT_LT(max_err, 1e-12);
+  });
 }
 
 TEST(SlaveForce, RejectsAlloyTables) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "sunway/core_group.h"
@@ -155,6 +156,84 @@ TEST(SlavePool, AggregatesDmaStats) {
   EXPECT_EQ(pool.aggregate_dma_stats().put_ops, 4u);
   pool.reset_stats();
   EXPECT_EQ(pool.aggregate_dma_stats().put_ops, 0u);
+}
+
+class SlavePoolParallelForChunks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SlavePoolParallelForChunks, CoversAllTasksExactlyOnceInContiguousChunks) {
+  const std::size_t n = GetParam();
+  SlaveCorePool pool(8, 4096);
+  std::vector<std::atomic<int>> hits(n == 0 ? 1 : n);
+  std::atomic<int> invocations{0};
+  pool.parallel_for_chunks(n, [&](SlaveCtx&, std::size_t begin, std::size_t end) {
+    invocations.fetch_add(1);
+    EXPECT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  // At most one dispatch per core: the per-item std::function cost is gone.
+  EXPECT_LE(invocations.load(), 8);
+  if (n > 0) {
+    EXPECT_GE(invocations.load(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SlavePoolParallelForChunks,
+                         ::testing::Values(0, 1, 7, 8, 9, 64, 1000));
+
+TEST(SlavePool, ManySuccessiveRunsOnPersistentWorkers) {
+  // The workers are spawned once; 500 fork/join cycles must all cover every
+  // core and keep per-core DMA stats accumulating.
+  SlaveCorePool pool(16, 4096);
+  std::vector<std::atomic<int>> hits(16);
+  std::vector<double> main_mem(16, 0.0);
+  const int kRuns = 500;
+  for (int r = 0; r < kRuns; ++r) {
+    pool.run([&](SlaveCtx& ctx) {
+      hits[ctx.core_id].fetch_add(1);
+      double x = 1.0;
+      ctx.dma->put(&main_mem[ctx.core_id], &x, sizeof(double));
+    });
+  }
+  for (auto& h : hits) EXPECT_EQ(h.load(), kRuns);
+  // Stats fold per core across invocations.
+  EXPECT_EQ(pool.aggregate_dma_stats().put_ops,
+            static_cast<std::uint64_t>(kRuns) * 16u);
+  for (std::size_t c = 0; c < pool.size(); ++c) {
+    EXPECT_EQ(pool.core(c).dma->stats().put_ops,
+              static_cast<std::uint64_t>(kRuns))
+        << "core " << c;
+  }
+}
+
+TEST(SlavePool, KernelExceptionsPropagateAndPoolStaysUsable) {
+  SlaveCorePool pool(8, 4096);
+  EXPECT_THROW(
+      pool.run([&](SlaveCtx& ctx) {
+        if (ctx.core_id == 5) throw std::runtime_error("kernel fault");
+      }),
+      std::runtime_error);
+  // Even when every core throws, exactly one exception surfaces.
+  EXPECT_THROW(pool.run([&](SlaveCtx&) { throw std::runtime_error("all"); }),
+               std::runtime_error);
+  // The pool remains fully operational after a failed epoch.
+  std::vector<std::atomic<int>> hits(8);
+  pool.run([&](SlaveCtx& ctx) { hits[ctx.core_id].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SlavePool, ConstCoreAccessorReadsStats) {
+  SlaveCorePool pool(2, 4096);
+  std::vector<double> main_mem(2, 0.0);
+  pool.run([&](SlaveCtx& ctx) {
+    double x = 1.0;
+    ctx.dma->put(&main_mem[ctx.core_id], &x, sizeof(double));
+  });
+  const SlaveCorePool& cpool = pool;
+  EXPECT_EQ(cpool.core(0).dma->stats().put_ops, 1u);
+  EXPECT_EQ(cpool.core(1).dma->stats().put_ops, 1u);
+  EXPECT_GE(cpool.os_threads(), 1u);
+  EXPECT_LE(cpool.os_threads(), 2u);
 }
 
 TEST(CoreGroup, DefaultShapeIsSunway) {
