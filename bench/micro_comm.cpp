@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "comm/neighborhood.h"
 #include "comm/world.h"
 #include "harness.h"
 #include "util/timer.h"
@@ -107,6 +108,53 @@ int main() {
     });
     h.add_samples("allreduce_rendezvous_" + std::to_string(nranks) + "ranks",
                   "ns/op", std::move(samples));
+  }
+
+  {
+    // Neighborhood halo round on an 8-rank periodic ring, both sides per
+    // round, 4 KB per side — the ghost-exchange shape. Blocking = ordered
+    // send/recv per side; nonblocking = NeighborhoodExchange (receives
+    // pre-posted, out-of-order completion). The gap is the serialization a
+    // slow neighbor imposes on the fixed recv order.
+    constexpr int kRanks = 8;
+    constexpr int kOps = 300;
+    const std::vector<double> payload(512, 1.0);
+    for (const bool nonblocking : {false, true}) {
+      std::vector<double> samples;
+      comm::World w(kRanks);
+      w.run([&](comm::Comm& c) {
+        const int lo = (c.rank() + kRanks - 1) % kRanks;
+        const int hi = (c.rank() + 1) % kRanks;
+        const auto bytes = comm::pack(std::span<const double>(payload));
+        for (int rep = 0; rep < warm + reps; ++rep) {
+          c.barrier();  // keep the blocks aligned across ranks
+          util::Timer t;
+          for (int i = 0; i < kOps; ++i) {
+            if (nonblocking) {
+              comm::NeighborhoodExchange nx(c);
+              nx.expect(lo, 1);
+              nx.expect(hi, 1);
+              nx.send(lo, 1, bytes);
+              nx.send(hi, 1, bytes);
+              nx.complete([&](std::size_t, comm::Message&& m) {
+                bench::keep(m.payload.size());
+              });
+            } else {
+              c.send(lo, 1, std::span<const double>(payload));
+              c.send(hi, 1, std::span<const double>(payload));
+              bench::keep(c.recv(lo, 1));
+              bench::keep(c.recv(hi, 1));
+            }
+          }
+          if (c.rank() == 0 && rep >= warm) {
+            samples.push_back(1e9 * t.elapsed() / kOps);
+          }
+        }
+      });
+      h.add_samples(nonblocking ? "neighborhood_nonblocking"
+                                : "neighborhood_blocking",
+                    "ns/op", std::move(samples));
+    }
   }
 
   {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace mmd::comm {
@@ -11,6 +12,46 @@ namespace mmd::comm {
 /// Wildcard constants mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Central message-tag registry. Every subsystem draws its tags from a named
+/// block below, so two layers can never collide on the same (peer, tag)
+/// channel — previously the bases were magic numbers scattered over
+/// `world.h`, `ghost_exchange.cpp`, and `kmc/comm_strategy.cpp`.
+///
+/// Blocks are sized generously; helpers derive the per-channel tag inside a
+/// block (axis/side for the lattice halo, sector for KMC). Tests and benches
+/// use ad-hoc small tags (< 100), which is fine as long as they do not run
+/// concurrently with subsystem exchanges on the same World.
+namespace tags {
+
+// --- comm-internal collectives (world.h) ---
+inline constexpr int kGather = 9990;     ///< default gather_to channel
+inline constexpr int kBroadcast = 9991;  ///< default broadcast_from channel
+
+// --- lattice ghost exchange (blocks of 8: base + axis*2 + side) ---
+inline constexpr int kGhostHalo = 100;          ///< forward exchange, aggregated
+inline constexpr int kGhostRho = 110;           ///< rho-only refresh, aggregated
+inline constexpr int kGhostReverseRho = 120;    ///< reverse rho accumulation
+inline constexpr int kGhostReverseForce = 130;  ///< reverse force accumulation
+
+/// Channel of one (axis, side) within a lattice ghost-exchange block.
+inline constexpr int axis_side(int base, int axis, int side) {
+  return base + axis * 2 + side;
+}
+
+// --- KMC sector exchange (blocks of 16: base + sector; sector 8 = full halo) ---
+inline constexpr int kKmcGet = 1000;       ///< traditional GET shells
+inline constexpr int kKmcPut = 1016;       ///< traditional PUT-back shells
+inline constexpr int kKmcOnDemand = 1032;  ///< on-demand two-sided updates
+
+/// Channel of one KMC sector within a block (sector in [0, 8]; 8 = full halo).
+inline constexpr int sector(int base, int s) { return base + s; }
+
+// --- application drivers (kmc::engine, core::simulation gathers) ---
+inline constexpr int kKmcVacancyGather = 9000;
+inline constexpr int kSimVacancyGather = 9010;
+
+}  // namespace tags
 
 /// A point-to-point message in flight.
 struct Message {
@@ -45,5 +86,67 @@ std::vector<T> unpack(std::span<const std::byte> bytes) {
   if (!out.empty()) std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
   return out;
 }
+
+/// Builder for a multi-section payload: each section is a u64 byte count
+/// followed by the raw bytes of a trivially-copyable span. Aggregating the
+/// logically separate arrays of one exchange step (halo entries + run-away
+/// chains + emigrants, or rho values + chain rho) into ONE message per peer
+/// replaces several small sends with a single large one — the per-message
+/// latency amortization behind the NeighborhoodExchange refactor.
+class SectionWriter {
+ public:
+  template <typename T>
+  void add(std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = items.size_bytes();
+    const auto* hdr = reinterpret_cast<const std::byte*>(&n);
+    buf_.insert(buf_.end(), hdr, hdr + sizeof n);
+    if (n != 0) {
+      const auto* data = reinterpret_cast<const std::byte*>(items.data());
+      buf_.insert(buf_.end(), data, data + n);
+    }
+  }
+
+  std::span<const std::byte> bytes() const { return buf_; }
+  bool empty() const { return buf_.empty(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reader for a SectionWriter payload; sender and receiver agree on the
+/// section order. Throws on truncated or misaligned sections.
+class SectionReader {
+ public:
+  explicit SectionReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  std::vector<T> take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t n = 0;
+    if (pos_ + sizeof n > bytes_.size()) {
+      throw std::runtime_error("SectionReader: truncated section header");
+    }
+    std::memcpy(&n, bytes_.data() + pos_, sizeof n);
+    pos_ += sizeof n;
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("SectionReader: truncated section payload");
+    }
+    if (n % sizeof(T) != 0) {
+      throw std::runtime_error("SectionReader: section size misaligned");
+    }
+    std::vector<T> out(n / sizeof(T));
+    if (n != 0) std::memcpy(out.data(), bytes_.data() + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace mmd::comm

@@ -1,6 +1,7 @@
 #include "comm/world.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -26,6 +27,15 @@ void fold_traffic(telemetry::Session& session, int rank, const RankTraffic& befo
   m.add(rank, "comm.onesided.puts", after.onesided_puts - before.onesided_puts);
   m.add(rank, "comm.onesided.bytes", after.onesided_bytes - before.onesided_bytes);
   m.add(rank, "comm.collectives", after.collectives - before.collectives);
+  m.add(rank, "comm.wait.ns", after.wait_ns - before.wait_ns);
+}
+
+/// Monotonic nanoseconds for wait-time accounting.
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -79,6 +89,18 @@ void World::deliver(int dst, Message msg) {
   auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lk(box.m);
+    // Posted receives match before the queue, in post order, so a message an
+    // irecv already owns is never observed by probe or a blocking recv.
+    for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
+      RequestState& rs = **it;
+      if (!rs.done && matches(msg, rs.src, rs.tag)) {
+        rs.msg = std::move(msg);
+        rs.done = true;
+        box.pending.erase(it);
+        box.cv.notify_all();
+        return;
+      }
+    }
     box.q.push_back(std::move(msg));
   }
   box.cv.notify_all();
@@ -117,6 +139,69 @@ std::optional<ProbeInfo> World::probe_nonblocking(int me, int src, int tag) {
                          [&](const Message& m) { return matches(m, src, tag); });
   if (it == box.q.end()) return std::nullopt;
   return ProbeInfo{it->src, it->tag, it->payload.size()};
+}
+
+Request World::post_irecv(int me, int src, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(me)];
+  auto state = std::make_shared<RequestState>();
+  state->src = src;
+  state->tag = tag;
+  std::lock_guard lk(box.m);
+  // A message already queued before the post satisfies the receive at once
+  // (earliest match wins, same as blocking recv).
+  auto it = std::find_if(box.q.begin(), box.q.end(),
+                         [&](const Message& m) { return matches(m, src, tag); });
+  if (it != box.q.end()) {
+    state->msg = std::move(*it);
+    box.q.erase(it);
+    state->done = true;
+  } else {
+    box.pending.push_back(state);
+  }
+  return Request(std::move(state));
+}
+
+Message World::request_wait(int me, Request& r) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(me)];
+  RequestState& rs = *r.state_;
+  {
+    std::unique_lock lk(box.m);
+    box.cv.wait(lk, [&] { return rs.done; });
+    rs.consumed = true;
+  }
+  // Safe without the lock: once done && consumed, no other thread touches rs.
+  Message out = std::move(rs.msg);
+  r.state_.reset();
+  return out;
+}
+
+bool World::request_test(int me, const Request& r) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::lock_guard lk(box.m);
+  return r.state_->done;
+}
+
+std::size_t World::request_wait_any(int me, std::span<Request> rs) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::unique_lock lk(box.m);
+  for (;;) {
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const auto& st = rs[i].state_;
+      if (st && st->done && !st->consumed) {
+        st->consumed = true;
+        return i;
+      }
+    }
+    box.cv.wait(lk);
+  }
+}
+
+Message Request::take_message() {
+  // Valid only after wait_any marked this request consumed under the mailbox
+  // lock; from then on the state is exclusively the caller's.
+  Message out = std::move(state_->msg);
+  state_.reset();
+  return out;
 }
 
 // Generation-counted rendezvous: the first arrival of a generation runs
@@ -187,6 +272,42 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   ++t.p2p_msgs_sent;
   t.p2p_bytes_sent += data.size();
   world_->deliver(dst, std::move(m));
+}
+
+Request Comm::isend_bytes(int dst, int tag, std::span<const std::byte> data) {
+  send_bytes(dst, tag, data);
+  auto state = std::make_shared<RequestState>();
+  state->done = true;  // buffered: delivery already happened
+  return Request(std::move(state));
+}
+
+Request Comm::irecv(int src, int tag) {
+  return world_->post_irecv(rank_, src, tag);
+}
+
+Message Comm::wait(Request& r) {
+  const std::uint64_t t0 = now_ns();
+  Message m = world_->request_wait(rank_, r);
+  my_traffic().wait_ns += now_ns() - t0;
+  return m;
+}
+
+bool Comm::test(const Request& r) { return world_->request_test(rank_, r); }
+
+std::vector<Message> Comm::wait_all(std::span<Request> rs) {
+  const std::uint64_t t0 = now_ns();
+  std::vector<Message> out;
+  out.reserve(rs.size());
+  for (Request& r : rs) out.push_back(world_->request_wait(rank_, r));
+  my_traffic().wait_ns += now_ns() - t0;
+  return out;
+}
+
+std::size_t Comm::wait_any(std::span<Request> rs) {
+  const std::uint64_t t0 = now_ns();
+  const std::size_t i = world_->request_wait_any(rank_, rs);
+  my_traffic().wait_ns += now_ns() - t0;
+  return i;
 }
 
 Message Comm::recv(int src, int tag) { return world_->receive(rank_, src, tag); }

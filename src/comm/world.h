@@ -16,6 +16,7 @@
 namespace mmd::comm {
 
 class Comm;
+class World;
 
 /// Per-rank traffic accounting. Only the owning rank's thread writes its own
 /// entry, so no atomics are needed; aggregation happens after `run()` or at
@@ -26,6 +27,7 @@ struct RankTraffic {
   std::uint64_t onesided_puts = 0;
   std::uint64_t onesided_bytes = 0;
   std::uint64_t collectives = 0;
+  std::uint64_t wait_ns = 0;  ///< time blocked in wait/wait_all/wait_any
 
   RankTraffic& operator+=(const RankTraffic& o) {
     p2p_msgs_sent += o.p2p_msgs_sent;
@@ -33,11 +35,50 @@ struct RankTraffic {
     onesided_puts += o.onesided_puts;
     onesided_bytes += o.onesided_bytes;
     collectives += o.collectives;
+    wait_ns += o.wait_ns;
     return *this;
   }
 
   std::uint64_t total_bytes() const { return p2p_bytes_sent + onesided_bytes; }
   std::uint64_t total_msgs() const { return p2p_msgs_sent + onesided_puts; }
+};
+
+/// Shared state of one outstanding nonblocking operation. All fields are
+/// guarded by the owning rank's mailbox mutex; completion is broadcast on
+/// that mailbox's condition variable (the single-mutex design keeps wait /
+/// deliver race-free without per-request synchronization).
+struct RequestState {
+  int src = kAnySource;   ///< match filter (receives only)
+  int tag = kAnyTag;      ///< match filter (receives only)
+  bool done = false;      ///< message arrived, or send was buffered
+  bool consumed = false;  ///< result already handed to the caller
+  Message msg;            ///< the matched message (receives only)
+};
+
+/// Handle to a nonblocking operation, in the shape of an MPI_Request.
+///
+/// Semantics: `isend` is buffered (like the blocking `send`) so its request
+/// is born complete; `irecv` posts a matching slot that `deliver` fills
+/// before the mailbox queue is consulted, so a posted receive is invisible
+/// to probe. Every posted receive MUST be completed via wait/wait_all/
+/// wait_any — an abandoned request would silently swallow the next matching
+/// message.
+class Request {
+ public:
+  Request() = default;
+
+  /// True until the operation's result has been retrieved.
+  bool valid() const { return state_ != nullptr; }
+
+  /// After Comm::wait_any reports this request complete, move the received
+  /// message out and release the handle.
+  Message take_message();
+
+ private:
+  friend class Comm;
+  friend class World;
+  explicit Request(std::shared_ptr<RequestState> s) : state_(std::move(s)) {}
+  std::shared_ptr<RequestState> state_;
 };
 
 /// One-sided communication window (models an MPI-3 RMA epoch with
@@ -104,6 +145,9 @@ class World {
     std::mutex m;
     std::condition_variable cv;
     std::deque<Message> q;
+    /// Posted receives, in post order. deliver() matches these before the
+    /// queue, so a message claimed by an irecv is never seen by probe/recv.
+    std::vector<std::shared_ptr<RequestState>> pending;
   };
 
   // --- point to point ---
@@ -111,6 +155,12 @@ class World {
   Message receive(int me, int src, int tag);
   ProbeInfo probe_blocking(int me, int src, int tag);
   std::optional<ProbeInfo> probe_nonblocking(int me, int src, int tag);
+
+  // --- nonblocking requests (me = owning rank) ---
+  Request post_irecv(int me, int src, int tag);
+  Message request_wait(int me, Request& r);
+  bool request_test(int me, const Request& r);
+  std::size_t request_wait_any(int me, std::span<Request> rs);
 
   // --- collectives (single generation-counted rendezvous) ---
   struct Rendezvous {
@@ -163,6 +213,38 @@ class Comm {
     send(dst, tag, std::span<const T>(&v, 1));
   }
 
+  /// Nonblocking untyped send. Buffered like `send` — the payload is copied
+  /// and delivered before return — so the request is born complete; waiting
+  /// on it is a no-op kept for MPI-shaped symmetry.
+  Request isend_bytes(int dst, int tag, std::span<const std::byte> data);
+
+  /// Nonblocking typed send of trivially-copyable elements.
+  template <typename T>
+  Request isend(int dst, int tag, std::span<const T> items) {
+    return isend_bytes(dst, tag, std::as_bytes(items));
+  }
+
+  /// Post a nonblocking receive matching (src, tag). The posted slot
+  /// out-prioritizes probe/recv for matching messages; it MUST be completed
+  /// with wait/wait_all/wait_any.
+  Request irecv(int src = kAnySource, int tag = kAnyTag);
+
+  /// Block until `r` completes; return its message and release the handle.
+  Message wait(Request& r);
+
+  /// Nonblocking completion check. Does not consume: once true, wait()
+  /// returns instantly with the message.
+  bool test(const Request& r);
+
+  /// Complete every request, returning messages in REQUEST order (not
+  /// arrival order) — deterministic regardless of sender scheduling.
+  std::vector<Message> wait_all(std::span<Request> rs);
+
+  /// Block until any not-yet-consumed request completes; returns its index.
+  /// Retrieve the message with rs[i].take_message(). Skips invalidated
+  /// handles, so callers can loop until every request has been taken.
+  std::size_t wait_any(std::span<Request> rs);
+
   /// Blocking receive matching (src, tag); wildcards kAnySource/kAnyTag.
   Message recv(int src = kAnySource, int tag = kAnyTag);
 
@@ -190,7 +272,8 @@ class Comm {
   /// Collective: concatenate every rank's items on `root` (rank order).
   /// Non-root ranks receive an empty vector.
   template <typename T>
-  std::vector<T> gather_to(int root, std::span<const T> items, int tag = 9990) {
+  std::vector<T> gather_to(int root, std::span<const T> items,
+                           int tag = tags::kGather) {
     if (rank_ != root) {
       send(root, tag, items);
       return {};
@@ -210,7 +293,7 @@ class Comm {
   /// Collective: every rank receives root's items.
   template <typename T>
   std::vector<T> broadcast_from(int root, std::span<const T> items,
-                                int tag = 9991) {
+                                int tag = tags::kBroadcast) {
     if (rank_ == root) {
       for (int r = 0; r < size(); ++r) {
         if (r != root) send(r, tag, items);

@@ -278,7 +278,8 @@ SimulationReport Simulation::run() {
         // The restored sites already contain the handoff (vacancies AND any
         // solute arrangement); reconstruct the pre-KMC vacancy census from
         // the frozen MD lattice instead of the evolved KMC state.
-        before = comm.gather_to<std::int64_t>(0, vac_sites, /*tag=*/9010);
+        before = comm.gather_to<std::int64_t>(0, vac_sites,
+                                              comm::tags::kSimVacancyGather);
         std::sort(before.begin(), before.end());
       }
       // Advance to cfg_.kmc_cycles, checkpointing at every epoch boundary.

@@ -5,13 +5,16 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "comm/neighborhood.h"
+
 namespace mmd::kmc {
 
 namespace {
 
-constexpr int kTagGet = 1000;
-constexpr int kTagPut = 2000;
-constexpr int kTagOnDemand = 3000;
+// Tag blocks from the central registry (comm/message.h).
+constexpr int kTagGet = comm::tags::kKmcGet;
+constexpr int kTagPut = comm::tags::kKmcPut;
+constexpr int kTagOnDemand = comm::tags::kKmcOnDemand;
 
 /// Canonical iteration of the ghost cells within `depth` cells of a sector's
 /// octant — expanded in BOTH directions per axis, because an event partner
@@ -138,6 +141,10 @@ std::size_t SectorExchangePlan::ghost_sites() const {
 GhostTraffic SectorExchangePlan::get(comm::Comm& comm, KmcModel& model,
                                      int tag_base) const {
   GhostTraffic t;
+  comm::NeighborhoodExchange nx(comm);
+  // Every ghost cell has exactly one owner, so the per-peer cell lists are
+  // disjoint and arrival-order application is deterministic.
+  for (const auto& r : recv_from_) nx.expect(r.peer, tag_base);
   std::vector<std::uint8_t> buf;
   for (const auto& s : send_to_) {
     buf.clear();
@@ -145,22 +152,23 @@ GhostTraffic SectorExchangePlan::get(comm::Comm& comm, KmcModel& model,
     for (std::size_t idx : s.cells) {
       buf.push_back(static_cast<std::uint8_t>(model.state(idx)));
     }
-    comm.send(s.peer, tag_base, std::span<const std::uint8_t>(buf));
+    nx.send(s.peer, tag_base, std::as_bytes(std::span<const std::uint8_t>(buf)));
     t.bytes_sent += buf.size();
     ++t.messages_sent;
   }
   for (const auto& [src, dst] : self_copy_) {
     model.set_state(dst, model.state(src));
   }
-  for (const auto& r : recv_from_) {
-    auto data = comm.recv_vector<std::uint8_t>(r.peer, tag_base);
+  nx.complete([&](std::size_t i, comm::Message&& m) {
+    const auto& r = recv_from_[i];
+    auto data = comm::unpack<std::uint8_t>(m.payload);
     if (data.size() != r.cells.size()) {
       throw std::runtime_error("SectorExchangePlan::get: size mismatch");
     }
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      model.set_state(r.cells[i], static_cast<SiteState>(data[i]));
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      model.set_state(r.cells[j], static_cast<SiteState>(data[j]));
     }
-  }
+  });
   return t;
 }
 
@@ -183,6 +191,8 @@ GhostTraffic SectorExchangePlan::put(
     comm::Comm& comm, KmcModel& model, int tag_base,
     const std::vector<std::vector<std::uint8_t>>& sent_snapshot) const {
   GhostTraffic t;
+  comm::NeighborhoodExchange nx(comm);
+  for (const auto& s : send_to_) nx.expect(s.peer, tag_base);
   std::vector<std::uint8_t> buf;
   // Reverse direction: my ghost images travel back to their owners —
   // whether updated or not; that is exactly the redundancy the paper's
@@ -193,7 +203,7 @@ GhostTraffic SectorExchangePlan::put(
     for (std::size_t idx : r.cells) {
       buf.push_back(static_cast<std::uint8_t>(model.state(idx)));
     }
-    comm.send(r.peer, tag_base, std::span<const std::uint8_t>(buf));
+    nx.send(r.peer, tag_base, std::as_bytes(std::span<const std::uint8_t>(buf)));
     t.bytes_sent += buf.size();
     ++t.messages_sent;
   }
@@ -203,9 +213,9 @@ GhostTraffic SectorExchangePlan::put(
     model.set_state_global(model.site_rank_of(dst), model.state(dst));
     (void)src;
   }
-  for (std::size_t si = 0; si < send_to_.size(); ++si) {
+  nx.complete([&](std::size_t si, comm::Message&& m) {
     const auto& s = send_to_[si];
-    auto data = comm.recv_vector<std::uint8_t>(s.peer, tag_base);
+    auto data = comm::unpack<std::uint8_t>(m.payload);
     if (data.size() != s.cells.size()) {
       throw std::runtime_error("SectorExchangePlan::put: size mismatch");
     }
@@ -213,11 +223,13 @@ GhostTraffic SectorExchangePlan::put(
       const auto incoming = static_cast<SiteState>(data[i]);
       // Several peers echo the same cell; apply only a genuine change
       // relative to what this owner served at GET time, so a peer that did
-      // not touch the cell cannot overwrite one that did.
+      // not touch the cell cannot overwrite one that did. Sector
+      // write-disjointness means at most ONE echo per cell passes the
+      // filter, so arrival-order application stays deterministic.
       if (static_cast<std::uint8_t>(incoming) == sent_snapshot[si][i]) continue;
       model.set_state_global(model.site_rank_of(s.cells[i]), incoming);
     }
-  }
+  });
   return t;
 }
 
@@ -247,7 +259,7 @@ GhostComm::GhostComm(const lat::BccGeometry& geo,
 }
 
 void GhostComm::initialize(comm::Comm& comm, KmcModel& model) {
-  traffic_ += full_plan_->get(comm, model, kTagGet + 8);
+  traffic_ += full_plan_->get(comm, model, comm::tags::sector(kTagGet, 8));
   if (strategy_ == GhostStrategy::OnDemandOneSided) {
     window_ = comm.create_window();
   }
@@ -257,7 +269,7 @@ void GhostComm::initialize(comm::Comm& comm, KmcModel& model) {
 void GhostComm::before_sector(comm::Comm& comm, KmcModel& model, int sector) {
   if (strategy_ == GhostStrategy::Traditional) {
     traffic_ += sector_get_plans_[static_cast<std::size_t>(sector)]->get(
-        comm, model, kTagGet + sector);
+        comm, model, comm::tags::sector(kTagGet, sector));
     // Owner-side record of what peers now hold, for stale-echo filtering at
     // the put-back.
     put_snapshot_ =
@@ -270,7 +282,7 @@ void GhostComm::after_sector(comm::Comm& comm, KmcModel& model, int sector,
   switch (strategy_) {
     case GhostStrategy::Traditional:
       traffic_ += sector_put_plans_[static_cast<std::size_t>(sector)]->put(
-          comm, model, kTagPut + sector, put_snapshot_);
+          comm, model, comm::tags::sector(kTagPut, sector), put_snapshot_);
       break;
     case GhostStrategy::OnDemandTwoSided:
       push_updates_two_sided(comm, model, sector, updates);
@@ -288,7 +300,14 @@ bool GhostComm::peer_has_image(std::size_t peer_pos, std::int64_t gid) const {
 void GhostComm::push_updates_two_sided(comm::Comm& comm, KmcModel& model,
                                        int sector,
                                        std::span<const SiteUpdate> updates) {
-  const int tag = kTagOnDemand + sector;
+  const int tag = comm::tags::sector(kTagOnDemand, sector);
+  comm::NeighborhoodExchange nx(comm);
+  // The neighbor SET is static even though the payloads are dynamic, so the
+  // receives can be posted up front; the paper's runtime-discovery cost
+  // survives as the variable message size. Each site is modified by exactly
+  // one rank per sector, so updates from different neighbors touch disjoint
+  // gids and arrival-order application is deterministic.
+  for (int q : neighbors_) nx.expect(q, tag);
   std::vector<SiteUpdate> out;
   for (std::size_t qi = 0; qi < neighbors_.size(); ++qi) {
     out.clear();
@@ -297,18 +316,15 @@ void GhostComm::push_updates_two_sided(comm::Comm& comm, KmcModel& model,
     }
     // The paper's point about two-sided on-demand: the message must be sent
     // even when empty, or the receiver cannot know the epoch is over.
-    comm.send(neighbors_[qi], tag, std::span<const SiteUpdate>(out));
+    nx.send(neighbors_[qi], tag, std::as_bytes(std::span<const SiteUpdate>(out)));
     traffic_.bytes_sent += out.size() * sizeof(SiteUpdate);
     ++traffic_.messages_sent;
   }
-  for (std::size_t qi = 0; qi < neighbors_.size(); ++qi) {
-    // Probe first: source and size are only known at runtime (paper §2.2.1).
-    const comm::ProbeInfo info = comm.probe(neighbors_[qi], tag);
-    auto data = comm.recv_vector<SiteUpdate>(info.src, tag);
-    for (const SiteUpdate& u : data) {
+  nx.complete([&](std::size_t, comm::Message&& m) {
+    for (const SiteUpdate& u : comm::unpack<SiteUpdate>(m.payload)) {
       model.set_state_global(u.gid, static_cast<SiteState>(u.state));
     }
-  }
+  });
 }
 
 void GhostComm::push_updates_one_sided(comm::Comm& comm, KmcModel& model,

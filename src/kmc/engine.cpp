@@ -244,7 +244,7 @@ void KmcEngine::run_to_threshold(comm::Comm& comm) {
 
 std::vector<std::int64_t> KmcEngine::gather_vacancies(comm::Comm& comm) const {
   const auto mine = model_.owned_vacancy_sites();
-  auto all = comm.gather_to<std::int64_t>(0, mine, /*tag=*/9000);
+  auto all = comm.gather_to<std::int64_t>(0, mine, comm::tags::kKmcVacancyGather);
   std::sort(all.begin(), all.end());
   return all;
 }

@@ -1,6 +1,7 @@
 #include "lattice/ghost_exchange.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -9,14 +10,7 @@ namespace mmd::lat {
 
 namespace {
 
-// Message tags: base + axis*2 + side so concurrent phases never cross-match.
-constexpr int kTagEntries = 100;
-constexpr int kTagChains = 200;
-constexpr int kTagEmigrants = 300;
-constexpr int kTagRho = 400;
-constexpr int kTagRhoChains = 500;
-
-int tag_for(int base, int axis, int side) { return base + axis * 2 + side; }
+using comm::tags::axis_side;
 
 struct Range {
   int lo, hi;
@@ -91,23 +85,46 @@ GhostExchange::GhostExchange(LatticeNeighborList& lnl,
   }
 }
 
+// Each phase is one nonblocking neighborhood round: both halo receives are
+// posted before either aggregated send, and the two sides complete out of
+// order. Entries and chains land in disjoint slabs so they unpack on
+// arrival; emigrants are staged and merged in fixed side order, so the
+// downstream adopt() sequence — and with it the trajectory — is independent
+// of which neighbor answered first.
 void GhostExchange::exchange(comm::Comm& comm, std::vector<RunawayAtom> emigrants) {
   lnl_->clear_ghosts();
-  std::vector<RunawayAtom> settled;
   for (int axis = 0; axis < 3; ++axis) {
-    std::vector<RunawayAtom> low, high;
-    route_emigrants(axis, emigrants, low, high);
-    send_side(comm, axis, 0, low, high);
-    send_side(comm, axis, 1, low, high);
-    recv_side(comm, axis, 0, emigrants);
-    recv_side(comm, axis, 1, emigrants);
+    std::array<std::vector<RunawayAtom>, 2> outbound;
+    route_emigrants(axis, emigrants, outbound[0], outbound[1]);
+
+    comm::NeighborhoodExchange nx(comm);
+    for (int side = 0; side < 2; ++side) {
+      // Channel index == side; my `side` halo is filled by that peer's
+      // opposite-side send.
+      nx.expect(sides_[axis][side].peer,
+                axis_side(comm::tags::kGhostHalo, axis, 1 - side));
+    }
+    for (int side = 0; side < 2; ++side) {
+      comm::SectionWriter w;
+      pack_side(axis, side, std::move(outbound[static_cast<std::size_t>(side)]), w);
+      bytes_sent_ += w.bytes().size();
+      nx.send(sides_[axis][side].peer,
+              axis_side(comm::tags::kGhostHalo, axis, side), w.bytes());
+    }
+    std::array<std::vector<RunawayAtom>, 2> arrived;
+    nx.complete([&](std::size_t side, comm::Message&& m) {
+      arrived[side] = unpack_side(axis, static_cast<int>(side), m);
+    });
+    for (const auto& a : arrived) {
+      emigrants.insert(emigrants.end(), a.begin(), a.end());
+    }
   }
   adopt(emigrants);
 }
 
-void GhostExchange::send_side(comm::Comm& comm, int axis, int side,
-                              std::vector<RunawayAtom>& low_emigrants,
-                              std::vector<RunawayAtom>& high_emigrants) {
+void GhostExchange::pack_side(int axis, int side,
+                              std::vector<RunawayAtom> migrants,
+                              comm::SectionWriter& w) const {
   const Side& s = sides_[axis][side];
   std::vector<AtomEntry> entries;
   entries.reserve(s.send_idx.size());
@@ -125,27 +142,17 @@ void GhostExchange::send_side(comm::Comm& comm, int axis, int side,
     e.r += s.shift;
     entries.push_back(e);
   }
-  std::vector<RunawayAtom>& out = side == 0 ? low_emigrants : high_emigrants;
-  for (RunawayAtom& a : out) a.r += s.shift;
-  comm.send(s.peer, tag_for(kTagEntries, axis, side),
-            std::span<const AtomEntry>(entries));
-  comm.send(s.peer, tag_for(kTagChains, axis, side),
-            std::span<const PackedRunaway>(chains));
-  comm.send(s.peer, tag_for(kTagEmigrants, axis, side),
-            std::span<const RunawayAtom>(out));
-  bytes_sent_ += entries.size() * sizeof(AtomEntry) +
-                 chains.size() * sizeof(PackedRunaway) +
-                 out.size() * sizeof(RunawayAtom);
-  out.clear();
+  for (RunawayAtom& a : migrants) a.r += s.shift;
+  w.add(std::span<const AtomEntry>(entries));
+  w.add(std::span<const PackedRunaway>(chains));
+  w.add(std::span<const RunawayAtom>(migrants));
 }
 
-void GhostExchange::recv_side(comm::Comm& comm, int axis, int side,
-                              std::vector<RunawayAtom>& keep) {
-  // My low halo (side 0) is filled by my low peer's high-side send, and vice
-  // versa: match the tag of the opposite side.
+std::vector<RunawayAtom> GhostExchange::unpack_side(int axis, int side,
+                                                    const comm::Message& m) {
   const Side& s = sides_[axis][side];
-  const int opposite = 1 - side;
-  auto entries = comm.recv_vector<AtomEntry>(s.peer, tag_for(kTagEntries, axis, opposite));
+  comm::SectionReader r(m.payload);
+  auto entries = r.take<AtomEntry>();
   if (entries.size() != s.recv_idx.size()) {
     throw std::runtime_error("GhostExchange: slab size mismatch between peers");
   }
@@ -153,14 +160,13 @@ void GhostExchange::recv_side(comm::Comm& comm, int axis, int side,
     entries[pos].runaway_head = AtomEntry::kNoRunaway;
     lnl_->entry(s.recv_idx[pos]) = entries[pos];
   }
-  auto chains = comm.recv_vector<PackedRunaway>(s.peer, tag_for(kTagChains, axis, opposite));
+  auto chains = r.take<PackedRunaway>();
   // add_runaway pushes at the head, so insert each host's nodes in reverse to
   // preserve the sender's chain order (exchange_rho depends on it).
   for (auto it = chains.rbegin(); it != chains.rend(); ++it) {
     lnl_->add_runaway(it->atom, s.recv_idx[static_cast<std::size_t>(it->slab_pos)]);
   }
-  auto migrants = comm.recv_vector<RunawayAtom>(s.peer, tag_for(kTagEmigrants, axis, opposite));
-  keep.insert(keep.end(), migrants.begin(), migrants.end());
+  return r.take<RunawayAtom>();
 }
 
 void GhostExchange::route_emigrants(int axis, std::vector<RunawayAtom>& pending,
@@ -208,104 +214,129 @@ void GhostExchange::adopt(std::vector<RunawayAtom>& settled) {
   settled.clear();
 }
 
-namespace {
-constexpr int kTagReverse = 600;
-}  // namespace
-
 // Reverse accumulation ships each side's halo values (recv_idx lists) back
 // to the peer, which ADDS them onto its border entries (send_idx lists).
 // Axis order is reversed relative to the forward exchange so that corner
-// halo contributions hop through the intermediate slabs.
-void GhostExchange::reverse_accumulate_rho(comm::Comm& comm) {
+// halo contributions hop through the intermediate slabs. Both sides of an
+// axis fly concurrently; the additions are applied in fixed side order
+// because the two border slabs OVERLAP when the subdomain is thinner than
+// two halo widths, and floating-point addition order must not depend on
+// message arrival.
+template <typename T, typename Get, typename Add>
+void GhostExchange::reverse_accumulate_field(comm::Comm& comm, int base_tag,
+                                             Get get, Add add) {
   for (int axis = 2; axis >= 0; --axis) {
+    comm::NeighborhoodExchange nx(comm);
     for (int side = 0; side < 2; ++side) {
-      const Side& s = sides_[axis][side];
-      // My halo on this side returns to the peer that owns it.
-      std::vector<double> vals;
-      vals.reserve(s.recv_idx.size());
-      for (std::size_t idx : s.recv_idx) vals.push_back(lnl_->entry(idx).rho);
-      comm.send(s.peer, kTagReverse + axis * 2 + side,
-                std::span<const double>(vals));
+      nx.expect(sides_[axis][side].peer, axis_side(base_tag, axis, 1 - side));
     }
     for (int side = 0; side < 2; ++side) {
       const Side& s = sides_[axis][side];
-      const int opposite = 1 - side;
-      auto vals = comm.recv_vector<double>(s.peer,
-                                           kTagReverse + axis * 2 + opposite);
+      std::vector<T> vals;
+      vals.reserve(s.recv_idx.size());
+      for (std::size_t idx : s.recv_idx) vals.push_back(get(lnl_->entry(idx)));
+      bytes_sent_ += vals.size() * sizeof(T);
+      nx.send(s.peer, axis_side(base_tag, axis, side),
+              std::as_bytes(std::span<const T>(vals)));
+    }
+    std::array<std::vector<T>, 2> in;
+    nx.complete([&](std::size_t side, comm::Message&& m) {
+      in[side] = comm::unpack<T>(m.payload);
+    });
+    for (int side = 0; side < 2; ++side) {
+      const Side& s = sides_[axis][side];
+      const auto& vals = in[static_cast<std::size_t>(side)];
       if (vals.size() != s.send_idx.size()) {
-        throw std::runtime_error("reverse_accumulate_rho: slab size mismatch");
+        throw std::runtime_error("GhostExchange: reverse slab size mismatch");
       }
       for (std::size_t pos = 0; pos < vals.size(); ++pos) {
-        lnl_->entry(s.send_idx[pos]).rho += vals[pos];
+        add(lnl_->entry(s.send_idx[pos]), vals[pos]);
       }
     }
   }
 }
 
+void GhostExchange::reverse_accumulate_rho(comm::Comm& comm) {
+  reverse_accumulate_field<double>(
+      comm, comm::tags::kGhostReverseRho,
+      [](const AtomEntry& e) { return e.rho; },
+      [](AtomEntry& e, double v) { e.rho += v; });
+}
+
 void GhostExchange::reverse_accumulate_force(comm::Comm& comm) {
-  for (int axis = 2; axis >= 0; --axis) {
-    for (int side = 0; side < 2; ++side) {
-      const Side& s = sides_[axis][side];
-      std::vector<util::Vec3> vals;
-      vals.reserve(s.recv_idx.size());
-      for (std::size_t idx : s.recv_idx) vals.push_back(lnl_->entry(idx).f);
-      comm.send(s.peer, kTagReverse + 50 + axis * 2 + side,
-                std::span<const util::Vec3>(vals));
-    }
-    for (int side = 0; side < 2; ++side) {
-      const Side& s = sides_[axis][side];
-      const int opposite = 1 - side;
-      auto vals = comm.recv_vector<util::Vec3>(
-          s.peer, kTagReverse + 50 + axis * 2 + opposite);
-      if (vals.size() != s.send_idx.size()) {
-        throw std::runtime_error("reverse_accumulate_force: slab size mismatch");
+  reverse_accumulate_field<util::Vec3>(
+      comm, comm::tags::kGhostReverseForce,
+      [](const AtomEntry& e) { return e.f; },
+      [](AtomEntry& e, const util::Vec3& v) { e.f += v; });
+}
+
+void GhostExchange::post_rho_axis(int axis, comm::NeighborhoodExchange& nx) {
+  for (int side = 0; side < 2; ++side) {
+    nx.expect(sides_[axis][side].peer,
+              axis_side(comm::tags::kGhostRho, axis, 1 - side));
+  }
+  for (int side = 0; side < 2; ++side) {
+    const Side& s = sides_[axis][side];
+    std::vector<double> rho;
+    rho.reserve(s.send_idx.size());
+    std::vector<double> chain_rho;
+    for (std::size_t idx : s.send_idx) {
+      const AtomEntry& e = lnl_->entry(idx);
+      rho.push_back(e.rho);
+      for (std::int32_t ri = e.runaway_head; ri != AtomEntry::kNoRunaway;
+           ri = lnl_->runaway(ri).next) {
+        chain_rho.push_back(lnl_->runaway(ri).rho);
       }
-      for (std::size_t pos = 0; pos < vals.size(); ++pos) {
-        lnl_->entry(s.send_idx[pos]).f += vals[pos];
+    }
+    comm::SectionWriter w;
+    w.add(std::span<const double>(rho));
+    w.add(std::span<const double>(chain_rho));
+    bytes_sent_ += w.bytes().size();
+    nx.send(s.peer, axis_side(comm::tags::kGhostRho, axis, side), w.bytes());
+  }
+}
+
+void GhostExchange::complete_rho_axis(int axis, comm::NeighborhoodExchange& nx) {
+  nx.complete([&](std::size_t side, comm::Message&& m) {
+    // The two sides' slabs are disjoint: unpack on arrival.
+    const Side& s = sides_[axis][side];
+    comm::SectionReader r(m.payload);
+    auto rho = r.take<double>();
+    auto chain_rho = r.take<double>();
+    if (rho.size() != s.recv_idx.size()) {
+      throw std::runtime_error("GhostExchange: rho slab size mismatch");
+    }
+    std::size_t ci = 0;
+    for (std::size_t pos = 0; pos < rho.size(); ++pos) {
+      AtomEntry& e = lnl_->entry(s.recv_idx[pos]);
+      e.rho = rho[pos];
+      for (std::int32_t ri = e.runaway_head; ri != AtomEntry::kNoRunaway;
+           ri = lnl_->runaway(ri).next) {
+        lnl_->runaway(ri).rho = chain_rho.at(ci++);
       }
     }
+  });
+}
+
+GhostExchange::RhoFlight GhostExchange::begin_exchange_rho(comm::Comm& comm) {
+  RhoFlight flight(comm);
+  post_rho_axis(0, flight.nx);
+  return flight;
+}
+
+void GhostExchange::finish_exchange_rho(comm::Comm&, RhoFlight& flight) {
+  complete_rho_axis(0, flight.nx);
+  // The y and z phases relay what x deposited in the halo, so they cannot be
+  // posted before x completes; each is still a concurrent two-sided round.
+  for (int axis = 1; axis < 3; ++axis) {
+    post_rho_axis(axis, flight.nx);
+    complete_rho_axis(axis, flight.nx);
   }
 }
 
 void GhostExchange::exchange_rho(comm::Comm& comm) {
-  for (int axis = 0; axis < 3; ++axis) {
-    for (int side = 0; side < 2; ++side) {
-      const Side& s = sides_[axis][side];
-      std::vector<double> rho;
-      rho.reserve(s.send_idx.size());
-      std::vector<double> chain_rho;
-      for (std::size_t idx : s.send_idx) {
-        const AtomEntry& e = lnl_->entry(idx);
-        rho.push_back(e.rho);
-        for (std::int32_t ri = e.runaway_head; ri != AtomEntry::kNoRunaway;
-             ri = lnl_->runaway(ri).next) {
-          chain_rho.push_back(lnl_->runaway(ri).rho);
-        }
-      }
-      comm.send(s.peer, tag_for(kTagRho, axis, side), std::span<const double>(rho));
-      comm.send(s.peer, tag_for(kTagRhoChains, axis, side),
-                std::span<const double>(chain_rho));
-    }
-    for (int side = 0; side < 2; ++side) {
-      const Side& s = sides_[axis][side];
-      const int opposite = 1 - side;
-      auto rho = comm.recv_vector<double>(s.peer, tag_for(kTagRho, axis, opposite));
-      auto chain_rho =
-          comm.recv_vector<double>(s.peer, tag_for(kTagRhoChains, axis, opposite));
-      if (rho.size() != s.recv_idx.size()) {
-        throw std::runtime_error("GhostExchange: rho slab size mismatch");
-      }
-      std::size_t ci = 0;
-      for (std::size_t pos = 0; pos < rho.size(); ++pos) {
-        AtomEntry& e = lnl_->entry(s.recv_idx[pos]);
-        e.rho = rho[pos];
-        for (std::int32_t ri = e.runaway_head; ri != AtomEntry::kNoRunaway;
-             ri = lnl_->runaway(ri).next) {
-          lnl_->runaway(ri).rho = chain_rho.at(ci++);
-        }
-      }
-    }
-  }
+  RhoFlight flight = begin_exchange_rho(comm);
+  finish_exchange_rho(comm, flight);
 }
 
 }  // namespace mmd::lat

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/neighborhood.h"
 #include "comm/world.h"
 #include "lattice/decomposition.h"
 #include "lattice/lattice_neighbor_list.h"
@@ -20,6 +21,13 @@ namespace mmd::lat {
 /// during the same three phases (dimension-ordered routing handles edge and
 /// corner crossings).
 ///
+/// All paths are nonblocking neighborhood rounds (comm::NeighborhoodExchange):
+/// within a phase both sides' receives are posted up front, each side's
+/// categories (entries + run-away chains + emigrants, or rho + chain rho) are
+/// aggregated into ONE message per peer, and completion is out of order.
+/// The phases themselves stay sequential — later axes relay the corner data
+/// that earlier axes deposited in the halo.
+///
 /// Positions are translated by +-L when a message crosses the periodic
 /// boundary, which keeps every rank's storage in a continuous local frame.
 class GhostExchange {
@@ -30,10 +38,33 @@ class GhostExchange {
   /// left the subdomain, from rehome_runaways) to their owners.
   void exchange(comm::Comm& comm, std::vector<RunawayAtom> emigrants = {});
 
+  /// A rho refresh whose first (x) phase is in flight: returned by
+  /// begin_exchange_rho so the caller can compute interior forces while the
+  /// largest phase's messages travel, then finish_exchange_rho.
+  class RhoFlight {
+   public:
+    RhoFlight(RhoFlight&&) = default;
+    RhoFlight& operator=(RhoFlight&&) = default;
+
+   private:
+    friend class GhostExchange;
+    explicit RhoFlight(comm::Comm& comm) : nx(comm) {}
+    comm::NeighborhoodExchange nx;
+  };
+
+  /// Post the x-phase of a rho refresh (both sides, aggregated, nonblocking)
+  /// and return without waiting. Must be paired with finish_exchange_rho on
+  /// the same Comm; ghost rho (and ghost-chain rho) is garbage until then.
+  RhoFlight begin_exchange_rho(comm::Comm& comm);
+
+  /// Complete the in-flight x phase, then run the y and z phases. After this
+  /// every ghost entry and ghost run-away chain carries the owner's rho.
+  void finish_exchange_rho(comm::Comm& comm, RhoFlight& flight);
+
   /// Refresh only the electron density (rho) of ghost entries and ghost
   /// run-away chains. Must be called after an `exchange()` with no chain
   /// mutations in between, so the ghost chain layout still mirrors the
-  /// sender's.
+  /// sender's. Equivalent to begin + finish with no overlapped compute.
   void exchange_rho(comm::Comm& comm);
 
   /// Reverse accumulation (the LAMMPS `reverse_comm` pattern, used by the
@@ -45,8 +76,9 @@ class GhostExchange {
   void reverse_accumulate_rho(comm::Comm& comm);
   void reverse_accumulate_force(comm::Comm& comm);
 
-  /// Bytes sent by this rank in full exchanges so far (for the weak-scaling
-  /// communication split).
+  /// Bytes sent by this rank over ALL ghost traffic so far — full exchanges,
+  /// rho-only refreshes, and reverse accumulations — for the weak-scaling
+  /// communication split and the telemetry fold.
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
@@ -64,11 +96,25 @@ class GhostExchange {
     RunawayAtom atom;
   };
 
-  void send_side(comm::Comm& comm, int axis, int side,
-                 std::vector<RunawayAtom>& low_emigrants,
-                 std::vector<RunawayAtom>& high_emigrants);
-  void recv_side(comm::Comm& comm, int axis, int side,
-                 std::vector<RunawayAtom>& keep);
+  /// Build one aggregated forward-exchange payload for (axis, side):
+  /// sections are [entries][chains][emigrants], all position-shifted.
+  void pack_side(int axis, int side, std::vector<RunawayAtom> migrants,
+                 comm::SectionWriter& w) const;
+  /// Unpack a forward payload into the (axis, side) halo slab; returns the
+  /// emigrants riding along (adopted later, in fixed side order).
+  std::vector<RunawayAtom> unpack_side(int axis, int side,
+                                       const comm::Message& m);
+
+  /// Post one rho phase (both sides) on `nx` / complete it.
+  void post_rho_axis(int axis, comm::NeighborhoodExchange& nx);
+  void complete_rho_axis(int axis, comm::NeighborhoodExchange& nx);
+
+  /// Shared reverse-accumulate driver: ship halo values of one field back to
+  /// their owners and add, nonblocking per axis, fixed side-apply order.
+  template <typename T, typename Get, typename Add>
+  void reverse_accumulate_field(comm::Comm& comm, int base_tag, Get get,
+                                Add add);
+
   /// Split emigrants into (low, high, keep-for-now) along `axis`.
   void route_emigrants(int axis, std::vector<RunawayAtom>& pending,
                        std::vector<RunawayAtom>& low,

@@ -39,40 +39,57 @@ void ReferenceForce::compute_rho(lat::LatticeNeighborList& lnl) const {
   });
 }
 
-void ReferenceForce::compute_forces(lat::LatticeNeighborList& lnl) const {
-  const double cut2 = tables_->cutoff * tables_->cutoff;
-  const double r_min = tables_->r_min;
-  auto force_on = [&](const util::Vec3& r0, int t0, double rho0, auto&& visit) {
-    const double fp0 = tables_->embed_of(t0).derivative(rho0);
-    util::Vec3 force;
-    visit([&](const lat::ParticleView& p) {
-      const util::Vec3 d = p.r - r0;
-      const double r2 = d.norm2();
-      if (r2 > cut2 || r2 == 0.0) return;
-      const double r = std::max(std::sqrt(r2), r_min);
-      const int t1 = sp(p.type);
-      double dphi, df;
-      tables_->phi(t0, t1).eval(r, nullptr, &dphi);
-      tables_->f(t0, t1).eval(r, nullptr, &df);
-      const double fp1 = tables_->embed_of(t1).derivative(p.rho);
-      const double scale = (dphi + (fp0 + fp1) * df) / r;
-      force += d * scale;
-    });
-    return force;
-  };
-  for (std::size_t idx : lnl.owned_indices()) {
+namespace {
+
+/// The pass-2 per-particle kernel, shared by the entry and run-away drivers.
+template <typename Visit>
+util::Vec3 eam_force_on(const pot::EamTableSet& tables, const util::Vec3& r0,
+                        int t0, double rho0, Visit&& visit) {
+  const double cut2 = tables.cutoff * tables.cutoff;
+  const double r_min = tables.r_min;
+  const double fp0 = tables.embed_of(t0).derivative(rho0);
+  util::Vec3 force;
+  visit([&](const lat::ParticleView& p) {
+    const util::Vec3 d = p.r - r0;
+    const double r2 = d.norm2();
+    if (r2 > cut2 || r2 == 0.0) return;
+    const double r = std::max(std::sqrt(r2), r_min);
+    const int t1 = sp(p.type);
+    double dphi, df;
+    tables.phi(t0, t1).eval(r, nullptr, &dphi);
+    tables.f(t0, t1).eval(r, nullptr, &df);
+    const double fp1 = tables.embed_of(t1).derivative(p.rho);
+    const double scale = (dphi + (fp0 + fp1) * df) / r;
+    force += d * scale;
+  });
+  return force;
+}
+
+}  // namespace
+
+void ReferenceForce::compute_entry_forces(
+    lat::LatticeNeighborList& lnl, std::span<const std::size_t> indices) const {
+  for (std::size_t idx : indices) {
     lat::AtomEntry& e = lnl.entry(idx);
     if (!e.is_atom()) continue;
-    e.f = force_on(e.r, sp(e.type), e.rho, [&](auto&& f) {
+    e.f = eam_force_on(*tables_, e.r, sp(e.type), e.rho, [&](auto&& f) {
       lnl.for_each_neighbor_of_entry(idx, f);
     });
   }
+}
+
+void ReferenceForce::compute_runaway_forces(lat::LatticeNeighborList& lnl) const {
   lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t host) {
     lat::RunawayAtom& a = lnl.runaway(ri);
-    a.f = force_on(a.r, sp(a.type), a.rho, [&](auto&& f) {
+    a.f = eam_force_on(*tables_, a.r, sp(a.type), a.rho, [&](auto&& f) {
       lnl.for_each_neighbor_of_runaway(ri, host, f);
     });
   });
+}
+
+void ReferenceForce::compute_forces(lat::LatticeNeighborList& lnl) const {
+  compute_entry_forces(lnl, lnl.owned_indices());
+  compute_runaway_forces(lnl);
 }
 
 double ReferenceForce::potential_energy(const lat::LatticeNeighborList& lnl) const {

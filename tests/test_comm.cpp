@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -320,6 +323,201 @@ TEST(PutWindow, DrainIsDestructive) {
       EXPECT_TRUE(c.drain<std::uint32_t>(*win).empty());
     }
   });
+}
+
+TEST(Request, IsendIrecvWaitDelivers) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> xs{1.5, 2.5};
+      Request s = c.isend(1, 3, std::span<const double>(xs));
+      // Buffered send: the request is born complete.
+      EXPECT_TRUE(c.test(s));
+      c.wait(s);
+      EXPECT_FALSE(s.valid());
+    } else {
+      Request r = c.irecv(0, 3);
+      Message m = c.wait(r);
+      EXPECT_FALSE(r.valid());
+      EXPECT_EQ(m.src, 0);
+      EXPECT_EQ(m.tag, 3);
+      auto xs = unpack<double>(m.payload);
+      ASSERT_EQ(xs.size(), 2u);
+      EXPECT_DOUBLE_EQ(xs[1], 2.5);
+    }
+  });
+}
+
+TEST(Request, IrecvMatchesPrePostedAndQueued) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      // Queued case: message sits in the mailbox before the irecv is posted.
+      c.send_value(1, 1, 11);
+      c.barrier();
+      // Pre-posted case: rank 1 posts before this send leaves.
+      c.barrier();
+      c.send_value(1, 2, 22);
+    } else {
+      c.barrier();
+      Request q = c.irecv(0, 1);
+      EXPECT_TRUE(c.test(q));  // already queued: matched at post time
+      EXPECT_EQ(unpack<int>(c.wait(q).payload)[0], 11);
+      Request p = c.irecv(0, 2);
+      c.barrier();
+      EXPECT_EQ(unpack<int>(c.wait(p).payload)[0], 22);
+    }
+  });
+}
+
+TEST(Request, PostedReceiveClaimsBeforeProbe) {
+  // deliver() matches pending irecvs BEFORE queueing: once a later message
+  // from the same sender is probe-visible, the earlier one must have been
+  // claimed by the posted receive, not left in the queue.
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();  // let rank 1 post first
+      c.send_value(1, 5, 55);
+      c.send_value(1, 6, 66);
+    } else {
+      Request r = c.irecv(0, 5);
+      c.barrier();
+      c.probe(0, 6);             // blocks until the SECOND message arrives
+      EXPECT_FALSE(c.iprobe(0, 5).has_value());  // first was claimed by the irecv
+      EXPECT_TRUE(c.test(r));
+      EXPECT_EQ(unpack<int>(c.wait(r).payload)[0], 55);
+      c.recv(0, 6);
+    }
+  });
+}
+
+TEST(Request, WildcardIrecvAnySourceAnyTag) {
+  const int nranks = 5;
+  World w(nranks);
+  w.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::set<int> seen;
+      for (int i = 0; i < nranks - 1; ++i) {
+        Request r = c.irecv(kAnySource, kAnyTag);
+        Message m = c.wait(r);
+        EXPECT_EQ(m.tag, 100 + m.src);
+        seen.insert(m.src);
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(nranks - 1));
+    } else {
+      c.send_value(0, 100 + c.rank(), c.rank());
+    }
+  });
+}
+
+TEST(Comm, WildcardRecvStressManySenders) {
+  // Satellite stress: many concurrent senders into one wildcard receiver,
+  // interleaving blocking recv(kAnySource) with iprobe-driven drains. Every
+  // message must arrive exactly once with a consistent (src, payload) pair.
+  const int nranks = 8;
+  constexpr int kPerSender = 200;
+  World w(nranks);
+  w.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::map<int, std::vector<int>> got;  // src -> payloads in arrival order
+      int total = (nranks - 1) * kPerSender;
+      while (total > 0) {
+        // Drain whatever iprobe sees, then take one blocking wildcard recv.
+        while (total > 0 && c.iprobe(kAnySource, 7).has_value()) {
+          Message m = c.recv(kAnySource, 7);
+          got[m.src].push_back(unpack<int>(m.payload)[0]);
+          --total;
+        }
+        if (total > 0) {
+          Message m = c.recv(kAnySource, 7);
+          got[m.src].push_back(unpack<int>(m.payload)[0]);
+          --total;
+        }
+      }
+      EXPECT_FALSE(c.iprobe(kAnySource, kAnyTag).has_value());
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(nranks - 1));
+      for (const auto& [src, payloads] : got) {
+        ASSERT_EQ(payloads.size(), static_cast<std::size_t>(kPerSender));
+        // Per-sender ordering is preserved even under wildcard receives.
+        for (int i = 0; i < kPerSender; ++i) {
+          EXPECT_EQ(payloads[static_cast<std::size_t>(i)], src * kPerSender + i);
+        }
+      }
+    } else {
+      for (int i = 0; i < kPerSender; ++i) {
+        c.send_value(0, 7, c.rank() * kPerSender + i);
+      }
+    }
+  });
+}
+
+TEST(Request, WaitAllReturnsRequestOrderUnderConcurrentSenders) {
+  // wait_all's contract: results come back in REQUEST order regardless of
+  // arrival order. Senders fire concurrently and in descending-rank barrier
+  // waves, so arrivals are scrambled relative to the post order.
+  const int nranks = 8;
+  constexpr int kRounds = 50;
+  World w(nranks);
+  w.run([&](Comm& c) {
+    for (int round = 0; round < kRounds; ++round) {
+      if (c.rank() == 0) {
+        std::vector<Request> rs;
+        for (int src = 1; src < nranks; ++src) {
+          rs.push_back(c.irecv(src, 9));
+        }
+        c.barrier();  // release the senders only after every recv is posted
+        std::vector<Message> ms = c.wait_all(rs);
+        ASSERT_EQ(ms.size(), static_cast<std::size_t>(nranks - 1));
+        for (int src = 1; src < nranks; ++src) {
+          EXPECT_EQ(ms[static_cast<std::size_t>(src - 1)].src, src);
+          EXPECT_EQ(unpack<int>(ms[static_cast<std::size_t>(src - 1)].payload)[0],
+                    round * 100 + src);
+        }
+        for (const Request& r : rs) EXPECT_FALSE(r.valid());
+      } else {
+        c.barrier();
+        c.send_value(0, 9, round * 100 + c.rank());
+      }
+    }
+  });
+}
+
+TEST(Request, WaitAnyDrainsEveryChannel) {
+  const int nranks = 6;
+  World w(nranks);
+  w.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<Request> rs;
+      for (int src = 1; src < nranks; ++src) rs.push_back(c.irecv(src, 4));
+      std::set<int> seen;
+      for (int n = 0; n < nranks - 1; ++n) {
+        const std::size_t i = c.wait_any(rs);
+        Message m = rs[i].take_message();
+        EXPECT_EQ(m.src, static_cast<int>(i) + 1);
+        seen.insert(m.src);
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(nranks - 1));
+    } else {
+      c.send_value(0, 4, c.rank());
+    }
+  });
+}
+
+TEST(World, WaitTimeCounted) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      Request r = c.irecv(1, 1);
+      c.wait(r);
+    } else {
+      // Give rank 0 time to block inside wait() so wait_ns accumulates.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      c.send_value(0, 1, 1);
+    }
+  });
+  EXPECT_GT(w.traffic(0).wait_ns, 0u);
+  EXPECT_EQ(w.traffic(1).wait_ns, 0u);
 }
 
 TEST(Pack, RoundTrip) {
