@@ -1,0 +1,74 @@
+// campaign — service-mode throughput: interleaved lanes vs back-to-back jobs.
+//
+// Runs the same 8-job quick matrix (2 energies x 4 temperatures) through
+// serve::CampaignRunner twice: once with 4 concurrent lanes sharing the
+// asset cache, once with a single lane (the back-to-back shape a shell loop
+// over mmd_run would produce, minus process startup). Reports wall time and
+// jobs/hour for both plus the interleave speedup.
+//
+// Writes BENCH_campaign.json for tools/mmd_perf_diff.
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "harness.h"
+#include "serve/campaign.h"
+#include "serve/campaign_runner.h"
+#include "util/key_value.h"
+
+namespace {
+
+constexpr const char* kMatrix8 =
+    "campaign.name = bench8\n"
+    "box = 6\n"
+    "md.time_ps = 0.02\n"
+    "md.table_segments = 400\n"
+    "kmc.table_segments = 200\n"
+    "kmc.cycles = 8\n"
+    "sweep.pka.energy_ev = 40,80\n"
+    "sweep.temperature = 300,450,600,750\n";
+
+/// One full campaign over a fresh root; returns the outcome for rate math.
+mmd::serve::CampaignOutcome run_campaign(int lanes, int* run_counter) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() /
+                        ("mmd_bench_campaign_" + std::to_string((*run_counter)++));
+  fs::remove_all(root);
+  mmd::serve::CampaignRunner::Options opt;
+  opt.root = root.string();
+  opt.max_concurrent = lanes;
+  mmd::serve::CampaignRunner runner(
+      mmd::serve::CampaignSpec::parse(
+          mmd::util::KeyValueConfig::parse(kMatrix8, "bench8.mmd")),
+      opt);
+  auto outcome = runner.run();
+  fs::remove_all(root);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmd;
+  bench::BenchHarness h("campaign");
+
+  int run_counter = 0;
+  serve::CampaignOutcome interleaved, serial;
+  h.time_call_ms("campaign_8jobs_4lanes",
+                 [&] { interleaved = run_campaign(4, &run_counter); });
+  h.time_call_ms("campaign_8jobs_1lane",
+                 [&] { serial = run_campaign(1, &run_counter); });
+
+  h.add_value("jobs_per_hour_4lanes", "jobs/h", interleaved.jobs_per_hour,
+              /*lower_is_better=*/false);
+  h.add_value("jobs_per_hour_1lane", "jobs/h", serial.jobs_per_hour,
+              /*lower_is_better=*/false);
+  h.add_value("interleave_speedup", "x",
+              serial.wall_seconds > 0.0
+                  ? interleaved.jobs_per_hour / serial.jobs_per_hour
+                  : 0.0,
+              /*lower_is_better=*/false);
+
+  return h.write();
+}

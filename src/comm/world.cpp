@@ -52,9 +52,14 @@ void World::run(const std::function<void(Comm&)>& fn) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));
+  // Rank threads inherit the SUBMITTING thread's current session, not the
+  // process-global one: when several campaign jobs run concurrently, each
+  // job's world records into that job's thread-scoped session instead of
+  // racing on the shared slots of whichever session installed first.
+  telemetry::Session* session = telemetry::Session::current();
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
-      telemetry::Session* session = telemetry::Session::current();
+      telemetry::Session::ThreadScope telemetry_scope(session);
       const RankTraffic before = traffic_[static_cast<std::size_t>(r)];
       if (session != nullptr) session->tracer().attach_calling_thread(r);
       Comm comm(*this, r);

@@ -5,9 +5,12 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 
 #include "io/checkpoint.h"
 #include "io/checkpoint_store.h"
+#include "md/slave_force.h"
+#include "sunway/slave_pool.h"
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
 #include "util/timer.h"
@@ -103,18 +106,35 @@ std::string to_string(const SimulationReport& r) {
   return os.str();
 }
 
+SimulationAssets Simulation::build_assets(const SimulationConfig& cfg) {
+  const pot::EamModel model =
+      cfg.solute_fraction > 0.0
+          ? pot::EamModel::iron_copper(cfg.md.lattice_constant, cfg.md.cutoff)
+          : pot::EamModel::iron(cfg.md.lattice_constant, cfg.md.cutoff);
+  SimulationAssets assets;
+  assets.md_tables = std::make_shared<const pot::EamTableSet>(
+      pot::EamTableSet::build(model, cfg.md.table_segments));
+  assets.kmc_tables = std::make_shared<const pot::EamTableSet>(
+      pot::EamTableSet::build(model, cfg.kmc_table_segments));
+  return assets;
+}
+
 Simulation::Simulation(const SimulationConfig& cfg)
+    : Simulation(cfg, build_assets(cfg)) {}
+
+Simulation::Simulation(const SimulationConfig& cfg, SimulationAssets assets)
     : cfg_(cfg),
-      md_tables_(pot::EamTableSet::build(
-          cfg.solute_fraction > 0.0
-              ? pot::EamModel::iron_copper(cfg.md.lattice_constant, cfg.md.cutoff)
-              : pot::EamModel::iron(cfg.md.lattice_constant, cfg.md.cutoff),
-          cfg.md.table_segments)),
-      kmc_tables_(pot::EamTableSet::build(
-          cfg.solute_fraction > 0.0
-              ? pot::EamModel::iron_copper(cfg.md.lattice_constant, cfg.md.cutoff)
-              : pot::EamModel::iron(cfg.md.lattice_constant, cfg.md.cutoff),
-          cfg.kmc_table_segments)) {}
+      md_tables_(std::move(assets.md_tables)),
+      kmc_tables_(std::move(assets.kmc_tables)) {
+  if (md_tables_ == nullptr || kmc_tables_ == nullptr) {
+    throw std::invalid_argument("SimulationAssets must hold both table sets");
+  }
+  if (cfg_.use_slave_force && cfg_.solute_fraction > 0.0) {
+    throw std::invalid_argument(
+        "the slave-core force kernel is single-species; alloy runs "
+        "(solute_fraction > 0) must use the reference path");
+  }
+}
 
 SimulationReport Simulation::run() {
   SimulationReport report;
@@ -124,15 +144,22 @@ SimulationReport Simulation::run() {
   const kmc::KmcConfig kmc_cfg = kmc_config_from(cfg_);
   const kmc::KmcSetup kmc_setup(kmc_cfg, cfg_.nranks);
 
-  // Record into the installed telemetry session if a driver provided one
-  // (mmd_run --trace-out/--metrics-out), otherwise spin up a private one so
-  // the report can always be populated from the registry.
+  // Record into the calling thread's telemetry session if a driver provided
+  // one (mmd_run --trace-out/--metrics-out, or a campaign lane's thread-scoped
+  // session), otherwise spin up a private one so the report can always be
+  // populated from the registry. The private session stays off the global
+  // slot: concurrent simulations must never observe each other's fallback.
   std::unique_ptr<telemetry::Session> owned_session;
   telemetry::Session* session = telemetry::Session::current();
   if (session == nullptr) {
-    owned_session = std::make_unique<telemetry::Session>(cfg_.nranks);
+    telemetry::Session::Options opts;
+    opts.install_global = false;
+    owned_session = std::make_unique<telemetry::Session>(cfg_.nranks, opts);
     session = owned_session.get();
   }
+  // Pin `session` as this thread's current one for the duration of the run;
+  // comm::World::run hands it on to the rank threads it spawns.
+  telemetry::Session::ThreadScope telemetry_scope(session);
   // Counters in a driver-provided session may carry earlier runs; report
   // deltas, not absolutes.
   const std::uint64_t events_before =
@@ -152,14 +179,30 @@ SimulationReport Simulation::run() {
     std::reverse(resume_epochs.begin(), resume_epochs.end());
   }
 
+  // Slave force path: all ranks share ONE pool (its run() serializes
+  // concurrent epochs), either the campaign's shared executor or a private
+  // one owned by this run.
+  std::unique_ptr<sw::SlaveCorePool> owned_pool;
+  sw::SlaveCorePool* pool = cfg_.slave_pool;
+  if (cfg_.use_slave_force && pool == nullptr) {
+    owned_pool = std::make_unique<sw::SlaveCorePool>();
+    pool = owned_pool.get();
+  }
+
   comm::World world(cfg_.nranks);
   world.run([&](comm::Comm& comm) {
     util::Timer wall;
 
-    md::MdEngine md_engine(cfg_.md, md_setup.geo, md_setup.dd, md_tables_,
+    md::MdEngine md_engine(cfg_.md, md_setup.geo, md_setup.dd, *md_tables_,
                            comm.rank());
-    kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, kmc_tables_,
+    kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, *kmc_tables_,
                               comm.rank(), cfg_.kmc_strategy);
+    std::unique_ptr<md::SlaveForceCompute> slave_force;
+    if (cfg_.use_slave_force) {
+      slave_force = std::make_unique<md::SlaveForceCompute>(
+          *md_tables_, *pool, md::AccelStrategy::CompactedReuse);
+      md_engine.use_slave_kernel(slave_force.get());
+    }
 
     // --- resume: an epoch is adopted only when EVERY rank validates its
     // file; otherwise all ranks fall back to the next older epoch together.

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "kmc/clusters.h"
@@ -9,6 +10,9 @@
 
 namespace mmd::io {
 class FaultInjector;
+}
+namespace mmd::sw {
+class SlaveCorePool;
 }
 
 namespace mmd::core {
@@ -48,6 +52,26 @@ struct SimulationConfig {
   int checkpoint_keep = 2;
   /// Test hook: injects write faults into the checkpoint store (not owned).
   io::FaultInjector* fault_injector = nullptr;
+
+  // --- execution backend ---
+  /// Compute MD forces on the simulated slave-core pipeline instead of the
+  /// reference master-core path (identical physics; see md::SlaveForceCompute).
+  /// Single-species only: rejected when solute_fraction > 0.
+  bool use_slave_force = false;
+  /// Executor for the slave force path. In campaign service mode many
+  /// concurrent jobs point at ONE pool and interleave epochs on it; nullptr
+  /// makes the simulation own a private pool. Not owned; must outlive run().
+  sw::SlaveCorePool* slave_pool = nullptr;
+};
+
+/// The immutable table assets a Simulation interpolates from. Building them
+/// is the expensive part of construction (EAM spline sampling), and they are
+/// read-only for the whole run — so campaign service mode builds each
+/// distinct set once (serve::AssetCache) and shares it across every
+/// concurrent job with the same potential/resolution.
+struct SimulationAssets {
+  std::shared_ptr<const pot::EamTableSet> md_tables;
+  std::shared_ptr<const pot::EamTableSet> kmc_tables;
 };
 
 /// What the coupled run produced.
@@ -89,16 +113,25 @@ class Simulation {
  public:
   explicit Simulation(const SimulationConfig& cfg);
 
+  /// Construct with externally shared assets (campaign service mode). Both
+  /// table sets must be non-null and match what build_assets(cfg) would
+  /// produce in potential kind and segment counts.
+  Simulation(const SimulationConfig& cfg, SimulationAssets assets);
+
+  /// Build the table assets `cfg` implies (what the single-argument
+  /// constructor does internally; serve::AssetCache calls this on misses).
+  static SimulationAssets build_assets(const SimulationConfig& cfg);
+
   /// Execute the full pipeline; collective across cfg.nranks ranks.
   SimulationReport run();
 
   const SimulationConfig& config() const { return cfg_; }
-  const pot::EamTableSet& tables() const { return md_tables_; }
+  const pot::EamTableSet& tables() const { return *md_tables_; }
 
  private:
   SimulationConfig cfg_;
-  pot::EamTableSet md_tables_;
-  pot::EamTableSet kmc_tables_;
+  std::shared_ptr<const pot::EamTableSet> md_tables_;
+  std::shared_ptr<const pot::EamTableSet> kmc_tables_;
 };
 
 }  // namespace mmd::core

@@ -1,0 +1,52 @@
+#include "serve/asset_cache.h"
+
+#include <sstream>
+
+namespace mmd::serve {
+
+core::SimulationAssets AssetCache::assets_for(const core::SimulationConfig& cfg) {
+  const bool alloy = cfg.solute_fraction > 0.0;
+  core::SimulationAssets assets;
+  assets.md_tables = table_for(alloy, cfg.md.lattice_constant, cfg.md.cutoff,
+                               cfg.md.table_segments);
+  assets.kmc_tables = table_for(alloy, cfg.md.lattice_constant, cfg.md.cutoff,
+                                cfg.kmc_table_segments);
+  return assets;
+}
+
+std::shared_ptr<const pot::EamTableSet> AssetCache::table_for(
+    bool alloy, double lattice_constant, double cutoff, int segments) {
+  std::ostringstream key;
+  key.precision(17);
+  key << (alloy ? "fecu" : "fe") << '|' << lattice_constant << '|' << cutoff
+      << '|' << segments;
+  // Build under the lock: a second job asking for the same set while the
+  // first build is in flight must wait for it, not build a duplicate. Builds
+  // are milliseconds; the simplicity beats a per-key future scheme.
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tables_.find(key.str());
+  if (it != tables_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  const pot::EamModel model = alloy
+                                  ? pot::EamModel::iron_copper(lattice_constant, cutoff)
+                                  : pot::EamModel::iron(lattice_constant, cutoff);
+  auto tables = std::make_shared<const pot::EamTableSet>(
+      pot::EamTableSet::build(model, segments));
+  tables_.emplace(key.str(), tables);
+  return tables;
+}
+
+AssetCache::Stats AssetCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::size_t AssetCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tables_.size();
+}
+
+}  // namespace mmd::serve

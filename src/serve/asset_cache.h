@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/simulation.h"
+
+namespace mmd::serve {
+
+/// Shared immutable asset cache for campaign service mode.
+///
+/// Building an EAM interpolation table set (spline sampling over thousands of
+/// segments) dominates Simulation construction; a campaign re-deriving it per
+/// job would pay that cost jobs_total x 2 times (MD + KMC resolutions). The
+/// cache keys each table set by exactly what determines its content —
+/// potential kind (Fe vs Fe-Cu), lattice constant, cutoff, and segment count
+/// — builds it once under the lock, and hands out shared_ptr<const> aliases.
+/// Jobs that agree on MD and KMC resolution even share ONE set for both.
+///
+/// Thread-safe; the tables themselves are immutable after construction, so
+/// any number of concurrent jobs may interpolate from the same set.
+class AssetCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  ///< table sets actually built
+  };
+
+  /// The MD + KMC table pair `cfg` needs, from cache or freshly built.
+  core::SimulationAssets assets_for(const core::SimulationConfig& cfg);
+
+  Stats stats() const;
+  /// Distinct table sets currently held.
+  std::size_t size() const;
+
+ private:
+  std::shared_ptr<const pot::EamTableSet> table_for(bool alloy,
+                                                    double lattice_constant,
+                                                    double cutoff,
+                                                    int segments);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const pot::EamTableSet>> tables_;
+  Stats stats_;
+};
+
+}  // namespace mmd::serve

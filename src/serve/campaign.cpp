@@ -1,0 +1,174 @@
+#include "serve/campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/scenario.h"
+
+namespace mmd::serve {
+
+namespace {
+
+constexpr std::size_t kMaxJobs = 1000;
+
+/// Keys the campaign runner owns: per-job checkpoint directories, resume
+/// policy, and output routing are scheduling decisions, not scenario physics.
+/// `file_key` is the literal key in the file (for line attribution), `key`
+/// the effective scenario key (they differ for sweep.<key>).
+void forbid_runner_owned(const util::KeyValueConfig& kv,
+                         const std::string& file_key, const std::string& key) {
+  const bool owned = key == "xyz" || key == "resume" ||
+                     key.rfind("checkpoint.", 0) == 0;
+  if (!owned) return;
+  std::ostringstream os;
+  os << kv.source();
+  if (const int line = kv.line_of(file_key); line > 0) os << ':' << line;
+  os << ": key '" << key
+     << "' is owned by the campaign runner (per-job checkpoint directories "
+        "and output routing); remove it from the campaign file";
+  throw std::invalid_argument(os.str());
+}
+
+std::vector<std::string> split_csv(const util::KeyValueConfig& kv,
+                                   const std::string& key,
+                                   const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(value);
+  while (std::getline(is, item, ',')) {
+    const auto b = item.find_first_not_of(" \t");
+    const auto e = item.find_last_not_of(" \t");
+    out.push_back(b == std::string::npos ? std::string()
+                                         : item.substr(b, e - b + 1));
+  }
+  const bool empty_item =
+      out.empty() || std::any_of(out.begin(), out.end(),
+                                 [](const std::string& s) { return s.empty(); });
+  if (empty_item) {
+    std::ostringstream os;
+    os << kv.source();
+    if (const int line = kv.line_of(key); line > 0) os << ':' << line;
+    os << ": sweep '" << key << "' needs a non-empty comma-separated list";
+    throw std::invalid_argument(os.str());
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignSpec CampaignSpec::parse(const util::KeyValueConfig& kv) {
+  CampaignSpec spec;
+  spec.name = kv.get_string("campaign.name", "campaign");
+  spec.max_concurrent =
+      static_cast<int>(kv.get_int("campaign.max_concurrent", 2));
+  spec.pool_cores = static_cast<int>(kv.get_int("campaign.pool_cores", 8));
+  if (spec.max_concurrent < 1) {
+    throw std::invalid_argument("campaign.max_concurrent must be >= 1");
+  }
+  if (spec.pool_cores < 1) {
+    throw std::invalid_argument("campaign.pool_cores must be >= 1");
+  }
+
+  struct Axis {
+    std::string key;  ///< the scenario key being swept
+    int line = 0;
+    std::vector<std::string> values;
+  };
+  std::vector<Axis> axes;
+  std::vector<std::string> base_keys;
+  for (const auto& [key, value] : kv.all()) {
+    if (key.rfind("campaign.", 0) == 0) continue;  // typos caught below
+    if (key.rfind("sweep.", 0) == 0) {
+      Axis a;
+      a.key = key.substr(6);
+      a.line = kv.line_of(key);
+      if (a.key.empty()) {
+        throw std::invalid_argument(kv.source() + ": sweep key without a target");
+      }
+      forbid_runner_owned(kv, key, a.key);
+      a.values = split_csv(kv, key, value);
+      kv.mark_known(key);
+      axes.push_back(std::move(a));
+      continue;
+    }
+    forbid_runner_owned(kv, key, key);
+    base_keys.push_back(key);
+    kv.mark_known(key);  // validated per expanded job, with this file's lines
+  }
+  // Axis order = file order (kv.all() iterates alphabetically), so the
+  // expansion is what the author reads top to bottom: last axis fastest.
+  std::stable_sort(axes.begin(), axes.end(),
+                   [](const Axis& a, const Axis& b) { return a.line < b.line; });
+
+  std::size_t total = 1;
+  for (const Axis& a : axes) total *= a.values.size();
+  if (total > kMaxJobs) {
+    throw std::invalid_argument("campaign expands to " + std::to_string(total) +
+                                " jobs (limit " + std::to_string(kMaxJobs) + ")");
+  }
+
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (std::size_t j = 0; j < total; ++j) {
+    ScenarioSpec job;
+    char id[16];
+    std::snprintf(id, sizeof id, "j%03zu", j);
+    job.id = id;
+    util::KeyValueConfig cfg;
+    cfg.set_source(kv.source());
+    for (const std::string& key : base_keys) {
+      cfg.set(key, *kv.get(key), kv.line_of(key));
+    }
+    std::string label;
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+      const std::string& value = axes[i].values[idx[i]];
+      cfg.set(axes[i].key, value, axes[i].line);
+      if (!label.empty()) label += ',';
+      label += axes[i].key + '=' + value;
+    }
+    job.label = label.empty() ? "base" : label;
+    job.priority = static_cast<int>(cfg.get_int("job.priority", 0));
+    // Validate the expanded job NOW: every scenario key is consumed and
+    // anything left over is a typo, reported with the campaign file's line.
+    const core::SimulationConfig sim_cfg = core::scenario_from_kv(cfg);
+    if (sim_cfg.use_slave_force) spec.uses_slave_pool = true;
+    cfg.reject_unknown_keys();
+    job.config = std::move(cfg);
+    spec.jobs.push_back(std::move(job));
+    for (std::size_t i = axes.size(); i-- > 0;) {
+      if (++idx[i] < axes[i].values.size()) break;
+      idx[i] = 0;
+    }
+  }
+
+  kv.reject_unknown_keys();  // campaign.* typos
+  return spec;
+}
+
+CampaignSpec CampaignSpec::parse_file(const std::string& path) {
+  return parse(util::KeyValueConfig::parse_file(path));
+}
+
+std::string campaign_example_text() {
+  return
+      "# mmd_campaign file: base scenario keys + sweep axes\n"
+      "campaign.name           = quick-matrix\n"
+      "campaign.max_concurrent = 4       # lanes running jobs side by side\n"
+      "campaign.pool_cores     = 8       # shared slave-core executor size\n"
+      "\n"
+      "# Base scenario (any mmd_run key except checkpoint.* / xyz):\n"
+      "box        = 8\n"
+      "ranks      = 1\n"
+      "md.time_ps = 0.04\n"
+      "kmc.cycles = 30\n"
+      "\n"
+      "# Axes expand as a cross product (file order, last axis fastest):\n"
+      "sweep.pka.energy_ev = 80,160\n"
+      "sweep.temperature   = 300,600\n"
+      "\n"
+      "# Optional: higher job.priority runs earlier (sweepable too)\n"
+      "#sweep.job.priority = 1,0\n";
+}
+
+}  // namespace mmd::serve

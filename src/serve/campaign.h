@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/job_queue.h"
+
+namespace mmd::serve {
+
+/// A declarative campaign: many scenarios over one process, expanded from a
+/// single key=value file (docs/SERVICE.md).
+///
+///   campaign.name           = quick-matrix
+///   campaign.max_concurrent = 4        # lanes running jobs side by side
+///   campaign.pool_cores     = 8        # shared slave-core executor size
+///
+///   box          = 8                   # base scenario keys: any mmd_run key
+///   kmc.cycles   = 30
+///
+///   sweep.pka.energy_ev = 80,160,320   # axes: comma-separated values over
+///   sweep.temperature   = 300,600      # existing scenario keys
+///
+/// The sweep axes expand as a cross product (axis order = file order, last
+/// axis fastest), each combination becoming one ScenarioSpec whose config is
+/// the base keys overridden by that combination. `sweep.job.priority` (or a
+/// base `job.priority`) feeds the queue ordering. Keys the runner owns —
+/// checkpoint.*, xyz — are rejected: per-job checkpoint directories and
+/// output routing are the campaign runner's job, not the file's.
+struct CampaignSpec {
+  std::string name = "campaign";
+  int max_concurrent = 2;  ///< lanes (concurrent jobs)
+  int pool_cores = 8;      ///< shared SlaveCorePool size for accel=slave jobs
+  /// True when any job asks for accel=slave (the runner then builds the
+  /// shared pool; a pure-reference campaign never spawns it).
+  bool uses_slave_pool = false;
+  /// Expanded jobs in deterministic expansion order. Every job's config has
+  /// been validated against the scenario schema at parse time.
+  std::vector<ScenarioSpec> jobs;
+
+  static CampaignSpec parse(const util::KeyValueConfig& kv);
+  static CampaignSpec parse_file(const std::string& path);
+};
+
+/// Example campaign file for --print-example (kept next to the parser so the
+/// two cannot drift).
+std::string campaign_example_text();
+
+}  // namespace mmd::serve

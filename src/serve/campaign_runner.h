@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "serve/asset_cache.h"
+#include "serve/campaign.h"
+#include "sunway/slave_pool.h"
+#include "telemetry/registry.h"
+#include "telemetry/session.h"
+
+namespace mmd::serve {
+
+/// Outcome of one campaign job.
+struct JobResult {
+  std::string id;
+  std::string label;
+  int priority = 0;
+  /// Completed in an EARLIER campaign run — resumed campaigns skip it and
+  /// reload these fields from the job's result marker instead of rerunning.
+  bool skipped = false;
+  double wall_seconds = 0.0;
+  /// CRC-32 over the canonical text of final_vacancies: the cheap
+  /// bit-identity fingerprint (a campaign job must reproduce standalone
+  /// mmd_run exactly).
+  std::uint32_t vacancies_crc = 0;
+  std::uint64_t kmc_events = 0;
+  std::uint64_t vacancies = 0;
+  double mc_time = 0.0;
+  double vacancy_concentration = 0.0;
+  double md_seconds = 0.0;
+  double kmc_seconds = 0.0;
+  /// Full report (fresh runs only; a skipped job carries just the scalar
+  /// fields above, reloaded from its marker).
+  core::SimulationReport report;
+  /// This job's isolated telemetry aggregate (empty for skipped jobs).
+  telemetry::MetricsRegistry::Aggregate metrics;
+  /// Non-empty when the job threw instead of completing (bad scenario at
+  /// runtime, simulation failure). A failed job never gets a result marker,
+  /// so a resumed campaign retries it; the other lanes keep draining.
+  std::string error;
+};
+
+/// Fleet-wide view of a finished (or stopped) campaign.
+struct CampaignOutcome {
+  std::vector<JobResult> jobs;  ///< in expansion order (spec order)
+  int completed = 0;            ///< jobs run to completion THIS invocation
+  int skipped = 0;              ///< jobs skipped because already done
+  int failed = 0;               ///< jobs that threw (see JobResult::error)
+  double wall_seconds = 0.0;
+  double jobs_per_hour = 0.0;   ///< (completed + skipped) / wall hours
+  sw::SlaveCorePool::PoolActivity pool;  ///< shared-executor activity
+  double pool_utilization = 0.0;  ///< pool busy_seconds / campaign wall
+  AssetCache::Stats assets;
+  /// Rollup of every job's telemetry: plain names hold fleet totals,
+  /// "job/<id>/<name>" the per-job values (the summary JSON's namespace).
+  telemetry::MetricsRegistry::Aggregate fleet;
+  /// True when every job in the spec is done (false after an early stop).
+  bool complete = false;
+};
+
+/// Interleaves many scenario jobs over one process: a lane per concurrent
+/// job, one shared AssetCache, and — for accel=slave jobs — one shared
+/// SlaveCorePool whose epochs from different jobs interleave (the pool never
+/// parks while any job has runnable work; see SlaveCorePool). Each job runs
+/// under its own thread-scoped telemetry session and writes checkpoints into
+/// its own subdirectory of the campaign root, so jobs never observe each
+/// other. A completed job atomically drops `<root>/<id>/result.mmd`; a
+/// resumed campaign skips marked jobs and lets unfinished ones pick up from
+/// their newest per-job checkpoint epoch. docs/SERVICE.md covers the model.
+class CampaignRunner {
+ public:
+  struct Options {
+    /// Campaign root directory (markers + per-job checkpoint subdirs).
+    std::string root;
+    /// Override spec.max_concurrent when > 0.
+    int max_concurrent = 0;
+    /// KMC cycles between per-job checkpoint epochs (0 = only the result
+    /// marker makes a job resumable-as-done; no mid-job restart points).
+    int checkpoint_every = 0;
+    /// Skip jobs with a result marker; resume the rest from their newest
+    /// usable checkpoint.
+    bool resume = false;
+    /// Deterministic mid-campaign stop for kill/resume drills: once this
+    /// many jobs have finished in this invocation, no further job starts
+    /// (in-flight lanes still complete their current job). 0 = run all.
+    int stop_after_jobs = 0;
+    /// Called on the completing lane's thread, jobs in any order.
+    std::function<void(const JobResult&)> on_job_complete;
+  };
+
+  CampaignRunner(CampaignSpec spec, Options opt);
+
+  /// Run (or resume) the campaign; returns when every lane has drained.
+  CampaignOutcome run();
+
+  const CampaignSpec& spec() const { return spec_; }
+  const AssetCache& assets() const { return cache_; }
+
+ private:
+  void run_one_job(std::size_t spec_index, ScenarioSpec job,
+                   telemetry::Session& session);
+
+  CampaignSpec spec_;
+  Options opt_;
+  AssetCache cache_;
+  /// Shared epoch-interleaved executor (built only when a job wants it).
+  std::unique_ptr<sw::SlaveCorePool> pool_;
+  std::map<std::string, std::size_t> index_of_;  ///< job id -> spec index
+
+  // Per-run state (one run() per runner).
+  std::vector<JobResult> results_;
+  std::mutex results_mu_;
+  std::atomic<int> completed_{0};
+  std::atomic<int> skipped_{0};
+  std::atomic<int> failed_{0};
+  std::atomic<int> finished_{0};  ///< completed_ + skipped_ + failed_
+  std::atomic<bool> stop_{false};
+};
+
+/// Write the campaign summary JSON (jobs/hour, pool utilization, per-job
+/// phase breakdown, namespaced metric rollup). Returns false when the file
+/// cannot be written.
+bool write_campaign_summary_file(const std::string& path,
+                                 const CampaignSpec& spec,
+                                 const CampaignOutcome& outcome);
+
+}  // namespace mmd::serve

@@ -1,0 +1,54 @@
+#include "serve/job_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mmd::serve {
+
+void JobQueue::push(ScenarioSpec spec) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) throw std::logic_error("JobQueue::push after close");
+    jobs_.emplace(spec.priority, std::move(spec));
+  }
+  cv_.notify_one();
+}
+
+std::optional<ScenarioSpec> JobQueue::pop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;
+  auto it = jobs_.begin();
+  ScenarioSpec out = std::move(it->second);
+  jobs_.erase(it);
+  return out;
+}
+
+std::optional<ScenarioSpec> JobQueue::try_pop() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (jobs_.empty()) return std::nullopt;
+  auto it = jobs_.begin();
+  ScenarioSpec out = std::move(it->second);
+  jobs_.erase(it);
+  return out;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return jobs_.size();
+}
+
+}  // namespace mmd::serve

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/key_value.h"
+
+namespace mmd::serve {
+
+/// One expanded campaign job: a scenario-as-data config plus the scheduling
+/// metadata the runner needs. The config carries the full key=value scenario
+/// (base keys + this job's sweep overrides) with source/line attribution
+/// preserved, so a bad key in an expanded job still points at the campaign
+/// file line it came from.
+struct ScenarioSpec {
+  std::string id;     ///< stable short id ("j000", "j001", ...)
+  std::string label;  ///< human-readable sweep coordinates ("pka.energy_ev=80")
+  int priority = 0;   ///< higher runs earlier (job.priority key)
+  util::KeyValueConfig config;
+};
+
+/// Thread-safe priority queue of campaign jobs.
+///
+/// Ordering: highest priority first, FIFO among equal priorities (insertion
+/// order is preserved, so the expansion order of the campaign file breaks
+/// ties deterministically). Producers push(); consumer lanes pop() — which
+/// blocks until a job arrives or the queue is closed — or try_pop() when the
+/// whole campaign is enqueued up front.
+class JobQueue {
+ public:
+  /// Enqueue a job; wakes one blocked pop(). Throws if the queue is closed.
+  void push(ScenarioSpec spec);
+
+  /// Dequeue the highest-priority job, blocking while the queue is open but
+  /// empty. Returns nullopt once the queue is closed AND drained.
+  std::optional<ScenarioSpec> pop();
+
+  /// Non-blocking dequeue; nullopt when currently empty.
+  std::optional<ScenarioSpec> try_pop();
+
+  /// No more jobs will arrive: blocked pop() calls drain the remainder and
+  /// then return nullopt.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// greater<int> puts the highest priority first; multimap keeps equal keys
+  /// in insertion order (stable tie-break).
+  std::multimap<int, ScenarioSpec, std::greater<int>> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace mmd::serve

@@ -1,6 +1,7 @@
 #include "sunway/slave_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
@@ -87,6 +88,15 @@ void SlaveCorePool::worker_loop() {
 
 void SlaveCorePool::run(const std::function<void(SlaveCtx&)>& fn) {
   if (cores_.empty()) return;
+  // Serialize concurrent submitters (several jobs sharing this pool as their
+  // campaign executor): one epoch at a time, the next queued submitter's
+  // epoch starting the moment this one joins. try_lock first so contention —
+  // a second job with runnable work while the pool was busy — is observable.
+  const bool contended = !submit_mu_.try_lock();
+  if (contended) submit_mu_.lock();
+  std::lock_guard<std::mutex> submit_guard(submit_mu_, std::adopt_lock);
+  const auto epoch_t0 = std::chrono::steady_clock::now();
+
   // Telemetry: if the calling (rank) thread is attached to a tracer, each
   // logical CPE records a span on its own lane of that rank's track group,
   // tagged with the DMA traffic of this invocation; the rank thread folds the
@@ -138,6 +148,13 @@ void SlaveCorePool::run(const std::function<void(SlaveCtx&)>& fn) {
       m.add(metrics_rank, "sw.dma.put_bytes", d.put_bytes - dma_before.put_bytes);
     }
   }
+
+  ++activity_.epochs;
+  if (contended) ++activity_.contended_epochs;
+  activity_.busy_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_t0)
+          .count();
+
   if (error) std::rethrow_exception(error);
 }
 
@@ -176,6 +193,16 @@ double SlaveCorePool::max_modeled_dma_time() const {
 
 void SlaveCorePool::reset_stats() {
   for (auto& c : cores_) c.dma->reset_stats();
+}
+
+SlaveCorePool::PoolActivity SlaveCorePool::activity() const {
+  std::lock_guard<std::mutex> lk(submit_mu_);
+  return activity_;
+}
+
+void SlaveCorePool::reset_activity() {
+  std::lock_guard<std::mutex> lk(submit_mu_);
+  activity_ = PoolActivity{};
 }
 
 }  // namespace mmd::sw

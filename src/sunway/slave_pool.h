@@ -44,9 +44,28 @@ struct SlaveCtx {
 /// participates as one executor, exactly as on the Sunway MPE. Exceptions
 /// thrown by the kernel on any executor are captured and the first one is
 /// rethrown from `run()` after the join; the pool stays usable afterwards.
+///
+/// EPOCH INTERLEAVING (campaign service mode): `run()` may be called from
+/// any number of threads concurrently — epochs from different submitters are
+/// serialized on an internal submit lock, FIFO-ish, so many jobs can share
+/// one pool as their common executor. The moment one job's epoch joins, the
+/// next waiting job's epoch is released: the pool never parks while any
+/// submitter has runnable work. PoolActivity records how the sharing played
+/// out (epoch count, epochs that had to wait behind another submitter, and
+/// the summed busy time, which over a wall-clock interval yields pool
+/// utilization).
 class SlaveCorePool {
  public:
   static constexpr std::size_t kSunwayCoreGroupSize = 64;
+
+  /// Cumulative fork/join activity since construction or reset_activity().
+  struct PoolActivity {
+    std::uint64_t epochs = 0;            ///< completed run() invocations
+    /// Epochs that found the submit lock held — i.e. a second job had
+    /// runnable work while the pool was busy. Nonzero proves interleaving.
+    std::uint64_t contended_epochs = 0;
+    double busy_seconds = 0.0;           ///< summed wall time of all epochs
+  };
 
   explicit SlaveCorePool(std::size_t num_slave_cores = kSunwayCoreGroupSize,
                          std::size_t local_store_bytes = LocalStore::kSunwayCapacity,
@@ -60,6 +79,8 @@ class SlaveCorePool {
   std::size_t size() const { return cores_.size(); }
 
   /// Run `fn(ctx)` once on every logical slave core (athread spawn/join).
+  /// Safe to call from multiple threads; concurrent epochs serialize on the
+  /// submit lock (see the class comment).
   void run(const std::function<void(SlaveCtx&)>& fn);
 
   /// Static partition of tasks [0, n) over the slave cores; each core
@@ -85,6 +106,10 @@ class SlaveCorePool {
 
   void reset_stats();
 
+  /// Fork/join activity snapshot (thread-safe).
+  PoolActivity activity() const;
+  void reset_activity();
+
   /// Direct access to one core's context (for tests and cost-model readers).
   SlaveCtx& core(std::size_t i) { return *ctxs_[i]; }
   const SlaveCtx& core(std::size_t i) const { return *ctxs_[i]; }
@@ -106,6 +131,12 @@ class SlaveCorePool {
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<SlaveCtx>> ctxs_;
   std::size_t os_threads_;
+
+  // Submitter serialization + activity accounting. submit_mu_ is held for a
+  // whole run() (publish, drain, join, telemetry fold) so concurrent jobs
+  // interleave at epoch granularity; activity_ is guarded by it.
+  mutable std::mutex submit_mu_;
+  PoolActivity activity_;
 
   // Persistent-worker barrier state. `epoch_` names the current run();
   // workers park on work_cv_ until it advances, the caller parks on done_cv_

@@ -66,6 +66,26 @@ void MetricsRegistry::reset() {
   for (RankSlot& slot : slots_) slot = RankSlot{};
 }
 
+MetricsRegistry::Aggregate MetricsRegistry::snapshot_and_reset() {
+  Aggregate agg = aggregate();
+  reset();
+  return agg;
+}
+
+void MetricsRegistry::Aggregate::merge(const Aggregate& o) {
+  for (const auto& [name, v] : o.counters) counters[name] += v;
+  for (const auto& [name, v] : o.gauge_max) {
+    const auto it = gauge_max.find(name);
+    if (it == gauge_max.end()) {
+      gauge_max.emplace(name, v);
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
+  for (const auto& [name, v] : o.gauge_sum) gauge_sum[name] += v;
+  for (const auto& [name, s] : o.dists) dists[name].merge(s);
+}
+
 std::uint64_t MetricsRegistry::Aggregate::counter(std::string_view name) const {
   const auto it = counters.find(std::string(name));
   return it == counters.end() ? 0 : it->second;

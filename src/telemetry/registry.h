@@ -39,6 +39,12 @@ class MetricsRegistry {
 
     std::uint64_t counter(std::string_view name) const;
     double gauge_maximum(std::string_view name) const;
+
+    /// Fold another aggregate in with the same cross-rank semantics:
+    /// counters and gauge sums add, gauge maxima take the max, distributions
+    /// merge exactly. This is the fleet-rollup primitive of the campaign
+    /// runner: per-job aggregates merge into one fleet-wide view.
+    void merge(const Aggregate& o);
   };
 
   explicit MetricsRegistry(int nranks);
@@ -54,6 +60,13 @@ class MetricsRegistry {
   const RankSlot& rank(int r) const { return slots_[static_cast<std::size_t>(r)]; }
   Aggregate aggregate() const;
   void reset();
+
+  /// Aggregate, then clear every slot — the handoff that lets one registry
+  /// serve many jobs back to back (campaign service mode) with no cross-job
+  /// bleed: counters, gauges, and distributions of a finished job cannot leak
+  /// into the next one's aggregate. Same read-side contract as aggregate():
+  /// call only after the writer threads joined.
+  Aggregate snapshot_and_reset();
 
  private:
   std::vector<RankSlot> slots_;

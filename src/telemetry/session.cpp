@@ -8,6 +8,11 @@ namespace {
 
 std::atomic<Session*> g_current{nullptr};
 
+/// Per-thread override of the current session (Session::ThreadScope). The
+/// `active` flag distinguishes "no override" from "overridden to null".
+thread_local Session* t_current = nullptr;
+thread_local bool t_current_active = false;
+
 }  // namespace
 
 Session::Session(int nranks) : Session(nranks, Options{}) {}
@@ -15,8 +20,12 @@ Session::Session(int nranks) : Session(nranks, Options{}) {}
 Session::Session(int nranks, Options opt)
     : metrics_(nranks),
       tracer_(nranks, opt.lanes_per_rank, opt.events_per_track) {
-  Session* expected = nullptr;
-  installed_ = g_current.compare_exchange_strong(expected, this);
+  if (opt.install_global) {
+    Session* expected = nullptr;
+    installed_ = g_current.compare_exchange_strong(expected, this);
+  } else {
+    installed_ = false;
+  }
 }
 
 Session::~Session() {
@@ -26,7 +35,21 @@ Session::~Session() {
   }
 }
 
-Session* Session::current() { return g_current.load(std::memory_order_acquire); }
+Session* Session::current() {
+  if (t_current_active) return t_current;
+  return g_current.load(std::memory_order_acquire);
+}
+
+Session::ThreadScope::ThreadScope(Session* session)
+    : prev_(t_current), prev_active_(t_current_active) {
+  t_current = session;
+  t_current_active = true;
+}
+
+Session::ThreadScope::~ThreadScope() {
+  t_current = prev_;
+  t_current_active = prev_active_;
+}
 
 int attached_metrics_rank() {
   Session* s = Session::current();

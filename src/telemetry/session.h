@@ -22,6 +22,14 @@ namespace mmd::telemetry {
 ///   telemetry::write_chrome_trace_file("trace.json", session.tracer());
 ///
 /// When no session is installed every instrumentation point is a cheap no-op.
+///
+/// Service mode runs many independent simulations concurrently in one
+/// process; a single process-wide session would mix their metrics (and race:
+/// two jobs' rank-0 threads would share one single-writer slot). ThreadScope
+/// overrides `current()` for one thread, and comm::World::run propagates the
+/// submitting thread's current session to the rank threads it spawns — so
+/// each campaign lane sees only its own session while the global fallback
+/// keeps the one-session drivers working unchanged.
 class Session {
  public:
   struct Options {
@@ -29,6 +37,10 @@ class Session {
     int lanes_per_rank = 65;
     /// Ring capacity per track; oldest spans are overwritten on overflow.
     std::size_t events_per_track = 1 << 14;
+    /// Compete for the process-wide `current()` slot. Campaign lanes pass
+    /// false: their sessions are reachable only through a ThreadScope, so a
+    /// job's telemetry can never leak to unrelated threads.
+    bool install_global = true;
   };
 
   explicit Session(int nranks);
@@ -48,7 +60,26 @@ class Session {
   /// reachable via current()).
   bool installed() const { return installed_; }
 
+  /// The calling thread's session: its ThreadScope override when one is
+  /// active, otherwise the process-wide session (nullptr when neither).
   static Session* current();
+
+  /// RAII thread-local override of current() for the calling thread. Nests;
+  /// restores the previous override on destruction. A null session is
+  /// allowed and means "no telemetry on this thread" regardless of the
+  /// global.
+  class ThreadScope {
+   public:
+    explicit ThreadScope(Session* session);
+    ~ThreadScope();
+
+    ThreadScope(const ThreadScope&) = delete;
+    ThreadScope& operator=(const ThreadScope&) = delete;
+
+   private:
+    Session* prev_;
+    bool prev_active_;
+  };
 
  private:
   MetricsRegistry metrics_;

@@ -26,8 +26,10 @@ std::string lower(std::string s) {
 
 }  // namespace
 
-KeyValueConfig KeyValueConfig::parse(const std::string& text) {
+KeyValueConfig KeyValueConfig::parse(const std::string& text,
+                                     const std::string& source) {
   KeyValueConfig cfg;
+  cfg.source_ = source;
   std::istringstream is(text);
   std::string line;
   int lineno = 0;
@@ -54,6 +56,7 @@ KeyValueConfig KeyValueConfig::parse(const std::string& text) {
                                   "' on line " + std::to_string(lineno));
     }
     cfg.values_[key] = value;
+    cfg.lines_[key] = lineno;
   }
   return cfg;
 }
@@ -63,7 +66,18 @@ KeyValueConfig KeyValueConfig::parse_file(const std::string& path) {
   if (!f) throw std::runtime_error("KeyValueConfig: cannot read " + path);
   std::ostringstream buf;
   buf << f.rdbuf();
-  return parse(buf.str());
+  return parse(buf.str(), path);
+}
+
+void KeyValueConfig::set(const std::string& key, const std::string& value,
+                         int line) {
+  values_[key] = value;
+  lines_[key] = line;
+}
+
+int KeyValueConfig::line_of(const std::string& key) const {
+  const auto it = lines_.find(key);
+  return it == lines_.end() ? 0 : it->second;
 }
 
 std::optional<std::string> KeyValueConfig::get(const std::string& key) const {
@@ -127,6 +141,21 @@ std::vector<std::string> KeyValueConfig::unknown_keys() const {
     if (touched_.count(k) == 0) out.push_back(k);
   }
   return out;
+}
+
+void KeyValueConfig::reject_unknown_keys() const {
+  const auto unknown = unknown_keys();
+  if (unknown.empty()) return;
+  std::ostringstream os;
+  for (const auto& k : unknown) {
+    if (os.tellp() > 0) os << '\n';
+    os << source_;
+    if (const int line = line_of(k); line > 0) os << ':' << line;
+    os << ": unknown key '" << k << "'";
+  }
+  os << "\n(a typo here would silently fall through to the default; "
+        "see --print-defaults for the recognized keys)";
+  throw std::invalid_argument(os.str());
 }
 
 }  // namespace mmd::util

@@ -8,7 +8,7 @@
 
 namespace mmd::util {
 
-/// Minimal key=value configuration format used by the CLI driver:
+/// Minimal key=value configuration format used by the CLI drivers:
 ///
 ///   # comment
 ///   box = 12            ; trailing comments too
@@ -16,17 +16,22 @@ namespace mmd::util {
 ///   kmc.strategy = on-demand
 ///
 /// Keys are dot-namespaced strings; values are parsed on access with typed
-/// getters that validate and report precise errors. Unknown keys can be
-/// enumerated so drivers can reject typos instead of ignoring them.
+/// getters that validate and report precise errors. Every key remembers the
+/// source file and line it came from, so drivers can reject typos with a
+/// message that points at the offending line instead of silently falling
+/// through to defaults (see reject_unknown_keys()).
 class KeyValueConfig {
  public:
   KeyValueConfig() = default;
 
   /// Parse from text; throws std::invalid_argument with a line number on
-  /// malformed input (missing '=', empty key, duplicate key).
-  static KeyValueConfig parse(const std::string& text);
+  /// malformed input (missing '=', empty key, duplicate key). `source` names
+  /// the origin in diagnostics (a file path, "<string>", ...).
+  static KeyValueConfig parse(const std::string& text,
+                              const std::string& source = "<config>");
 
-  /// Parse a file; throws std::runtime_error if unreadable.
+  /// Parse a file; throws std::runtime_error if unreadable. The path becomes
+  /// the diagnostic source name.
   static KeyValueConfig parse_file(const std::string& path);
 
   bool has(const std::string& key) const { return values_.count(key) > 0; }
@@ -42,6 +47,19 @@ class KeyValueConfig {
   std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
   bool get_bool(const std::string& key, bool dflt) const;
 
+  /// Insert or overwrite a key programmatically (campaign matrix expansion
+  /// derives per-job configs from a base config this way). `line` attributes
+  /// the value to a source line for diagnostics; 0 means "not from a file".
+  void set(const std::string& key, const std::string& value, int line = 0);
+
+  /// Diagnostic source name ("<config>" unless parsed from a file or
+  /// overridden).
+  const std::string& source() const { return source_; }
+  void set_source(std::string source) { source_ = std::move(source); }
+
+  /// Line the key was defined on (0 when unknown / programmatic).
+  int line_of(const std::string& key) const;
+
   /// Record that a key is recognized; see unknown_keys().
   void mark_known(const std::string& key) const;
 
@@ -49,10 +67,21 @@ class KeyValueConfig {
   /// drivers should treat a non-empty result as a configuration error.
   std::vector<std::string> unknown_keys() const;
 
+  /// Loud form of unknown_keys(): throws std::invalid_argument naming every
+  /// untouched key with its source file and line, e.g.
+  ///
+  ///   config.mmd:7: unknown key 'pka.enerty_ev' (did you mean a key the
+  ///   driver recognizes? run with --print-defaults for the list)
+  ///
+  /// Call after every recognized key has been read or marked known.
+  void reject_unknown_keys() const;
+
   const std::map<std::string, std::string>& all() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;
+  std::map<std::string, int> lines_;
+  std::string source_ = "<config>";
   mutable std::map<std::string, bool> touched_;
 };
 

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/simulation.h"
@@ -109,6 +111,49 @@ TEST(CheckpointStore, CommitPrunesOldEpochsAndLeavesNoTempFiles) {
   }
 
   fs::remove_all(dir);
+}
+
+TEST(CheckpointStore, ConcurrentSiblingStoresStayIsolated) {
+  // Campaign service mode gives every job its own CheckpointStore in a
+  // sibling subdirectory of one root. Drive several stores concurrently and
+  // check there is no manifest cross-talk and pruning stays per-store.
+  const std::string root = fresh_dir("store_siblings");
+  constexpr int kStores = 4;
+  constexpr std::uint64_t kEpochs = 6;
+  std::vector<std::unique_ptr<io::CheckpointStore>> stores;
+  for (int s = 0; s < kStores; ++s) {
+    stores.push_back(std::make_unique<io::CheckpointStore>(
+        root + "/job" + std::to_string(s), /*nranks=*/1));
+    stores.back()->set_keep_epochs(2);
+  }
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kStores; ++s) {
+    threads.emplace_back([&, s] {
+      for (std::uint64_t e = 1; e <= kEpochs; ++e) {
+        // Payload unique per (store, epoch) so cross-talk would be visible.
+        ASSERT_TRUE(stores[static_cast<std::size_t>(s)]->write_rank_blob(
+            e, 0, "store" + std::to_string(s) + "-epoch" + std::to_string(e)));
+        ASSERT_TRUE(stores[static_cast<std::size_t>(s)]->commit_epoch(e));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int s = 0; s < kStores; ++s) {
+    auto& store = *stores[static_cast<std::size_t>(s)];
+    // Per-store keep-2 pruning: exactly the two newest epochs survive.
+    EXPECT_EQ(store.committed_epochs(),
+              (std::vector<std::uint64_t>{kEpochs - 1, kEpochs}));
+    for (std::uint64_t e = 1; e <= kEpochs - 2; ++e) {
+      EXPECT_FALSE(fs::exists(store.rank_path(e, 0)));
+    }
+    // Each store's blobs are its own (no manifest or payload cross-talk).
+    const auto blob = store.read_rank_blob(kEpochs, 0);
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(*blob, "store" + std::to_string(s) + "-epoch" +
+                         std::to_string(kEpochs));
+  }
+  fs::remove_all(root);
 }
 
 TEST(CheckpointStore, ManifestForDifferentRankCountIsIgnored) {

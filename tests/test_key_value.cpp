@@ -79,5 +79,51 @@ TEST(KeyValue, EmptyValueAllowed) {
   EXPECT_EQ(cfg.get_string("xyz", "default"), "");
 }
 
+TEST(KeyValue, TracksSourceAndLineNumbers) {
+  const auto cfg = KeyValueConfig::parse(
+      "# header comment\n"
+      "a = 1\n"
+      "\n"
+      "b = 2\n",
+      "demo.mmd");
+  EXPECT_EQ(cfg.source(), "demo.mmd");
+  EXPECT_EQ(cfg.line_of("a"), 2);
+  EXPECT_EQ(cfg.line_of("b"), 4);
+  EXPECT_EQ(cfg.line_of("absent"), 0);
+}
+
+TEST(KeyValue, RejectUnknownKeysNamesKeyAndFileLine) {
+  const auto cfg = KeyValueConfig::parse(
+      "a = 1\n"
+      "pka.enerty_ev = 80\n",  // typo'd key the driver never reads
+      "campaign.mmd");
+  cfg.get_int("a", 0);
+  try {
+    cfg.reject_unknown_keys();
+    FAIL() << "expected reject_unknown_keys to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("campaign.mmd:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pka.enerty_ev"), std::string::npos) << msg;
+  }
+}
+
+TEST(KeyValue, RejectUnknownKeysPassesWhenAllTouched) {
+  const auto cfg = KeyValueConfig::parse("a = 1\nb = 2\n");
+  cfg.get_int("a", 0);
+  cfg.mark_known("b");
+  EXPECT_NO_THROW(cfg.reject_unknown_keys());
+}
+
+TEST(KeyValue, SetInsertsAndOverridesWithAttribution) {
+  auto cfg = KeyValueConfig::parse("a = 1\n", "base.mmd");
+  cfg.set("a", "9", 12);
+  cfg.set("fresh", "hello");
+  EXPECT_EQ(cfg.get_int("a", 0), 9);
+  EXPECT_EQ(cfg.line_of("a"), 12);
+  EXPECT_EQ(cfg.get_string("fresh", ""), "hello");
+  EXPECT_EQ(cfg.line_of("fresh"), 0);
+}
+
 }  // namespace
 }  // namespace mmd::util

@@ -1,0 +1,243 @@
+// Campaign service-mode building blocks: the priority JobQueue, the shared
+// immutable AssetCache, and declarative campaign parsing with sweep-axis
+// matrix expansion (src/serve/, docs/SERVICE.md).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/asset_cache.h"
+#include "serve/campaign.h"
+#include "serve/job_queue.h"
+#include "util/key_value.h"
+
+namespace mmd {
+namespace {
+
+serve::ScenarioSpec job(const std::string& id, int priority) {
+  serve::ScenarioSpec s;
+  s.id = id;
+  s.priority = priority;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------------
+
+TEST(JobQueue, PopsHighestPriorityFirstFifoWithinTies) {
+  serve::JobQueue q;
+  q.push(job("a", 0));
+  q.push(job("b", 5));
+  q.push(job("c", 0));
+  q.push(job("d", 5));
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop()->id, "b");   // highest priority first
+  EXPECT_EQ(q.pop()->id, "d");   // FIFO among equal priorities
+  EXPECT_EQ(q.pop()->id, "a");
+  EXPECT_EQ(q.pop()->id, "c");
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(JobQueue, PopDrainsRemainderAfterCloseThenReturnsNullopt) {
+  serve::JobQueue q;
+  q.push(job("a", 0));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.pop()->id, "a");
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_THROW(q.push(job("b", 0)), std::logic_error);
+}
+
+TEST(JobQueue, BlockedPopWakesOnPush) {
+  serve::JobQueue q;
+  std::string got;
+  std::thread consumer([&] {
+    auto j = q.pop();
+    ASSERT_TRUE(j.has_value());
+    got = j->id;
+  });
+  q.push(job("late", 0));
+  consumer.join();
+  EXPECT_EQ(got, "late");
+}
+
+TEST(JobQueue, BlockedPopWakesOnClose) {
+  serve::JobQueue q;
+  bool got_null = false;
+  std::thread consumer([&] { got_null = !q.pop().has_value(); });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_null);
+}
+
+// ---------------------------------------------------------------------------
+// AssetCache
+// ---------------------------------------------------------------------------
+
+core::SimulationConfig tiny_cfg() {
+  core::SimulationConfig cfg;
+  cfg.md.table_segments = 100;
+  cfg.kmc_table_segments = 50;
+  return cfg;
+}
+
+TEST(AssetCache, SharesTablesAcrossJobsWithEqualKeys) {
+  serve::AssetCache cache;
+  const auto a = cache.assets_for(tiny_cfg());
+  const auto b = cache.assets_for(tiny_cfg());
+  EXPECT_EQ(a.md_tables.get(), b.md_tables.get());    // same object, not a copy
+  EXPECT_EQ(a.kmc_tables.get(), b.kmc_tables.get());
+  // First call built 2 distinct sets (MD + KMC resolution); second call hit
+  // both.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(AssetCache, SharesOneSetWhenMdAndKmcResolutionAgree) {
+  serve::AssetCache cache;
+  auto cfg = tiny_cfg();
+  cfg.kmc_table_segments = cfg.md.table_segments;
+  const auto a = cache.assets_for(cfg);
+  EXPECT_EQ(a.md_tables.get(), a.kmc_tables.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AssetCache, DistinguishesAlloyAndSegmentCount) {
+  serve::AssetCache cache;
+  auto cfg = tiny_cfg();
+  (void)cache.assets_for(cfg);
+  cfg.solute_fraction = 0.05;  // alloy tables differ in content
+  (void)cache.assets_for(cfg);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(AssetCache, ConcurrentRequestsYieldOneBuild) {
+  serve::AssetCache cache;
+  std::vector<std::thread> threads;
+  std::vector<core::SimulationAssets> got(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &got, t] { got[static_cast<std::size_t>(t)] = cache.assets_for(tiny_cfg()); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& a : got) {
+    EXPECT_EQ(a.md_tables.get(), got[0].md_tables.get());
+  }
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignSpec parsing + matrix expansion
+// ---------------------------------------------------------------------------
+
+TEST(CampaignSpec, ExpandsSweepAxesAsCrossProductInFileOrder) {
+  const auto kv = util::KeyValueConfig::parse(
+      "campaign.name = m\n"
+      "box = 6\n"
+      "sweep.pka.energy_ev = 80,160\n"
+      "sweep.temperature = 300,600,900\n",
+      "campaign.mmd");
+  const auto spec = serve::CampaignSpec::parse(kv);
+  ASSERT_EQ(spec.jobs.size(), 6u);
+  EXPECT_EQ(spec.name, "m");
+  // Axis order follows the file; the later axis spins fastest.
+  EXPECT_EQ(spec.jobs[0].id, "j000");
+  EXPECT_EQ(spec.jobs[0].label, "pka.energy_ev=80,temperature=300");
+  EXPECT_EQ(spec.jobs[1].label, "pka.energy_ev=80,temperature=600");
+  EXPECT_EQ(spec.jobs[3].label, "pka.energy_ev=160,temperature=300");
+  // Base keys + overrides land in each job's config.
+  EXPECT_EQ(spec.jobs[3].config.get_int("box", 0), 6);
+  EXPECT_EQ(spec.jobs[3].config.get_double("pka.energy_ev", 0), 160.0);
+  EXPECT_FALSE(spec.uses_slave_pool);
+}
+
+TEST(CampaignSpec, NoAxesYieldsOneBaseJob) {
+  const auto spec = serve::CampaignSpec::parse(
+      util::KeyValueConfig::parse("box = 8\n"));
+  ASSERT_EQ(spec.jobs.size(), 1u);
+  EXPECT_EQ(spec.jobs[0].label, "base");
+}
+
+TEST(CampaignSpec, SweepableJobPriorityReachesTheSpec) {
+  const auto spec = serve::CampaignSpec::parse(
+      util::KeyValueConfig::parse("sweep.job.priority = 2,7\n"));
+  ASSERT_EQ(spec.jobs.size(), 2u);
+  EXPECT_EQ(spec.jobs[0].priority, 2);
+  EXPECT_EQ(spec.jobs[1].priority, 7);
+}
+
+TEST(CampaignSpec, TypoInBaseKeyNamesCampaignFileAndLine) {
+  const auto kv = util::KeyValueConfig::parse(
+      "box = 6\n"
+      "pka.enerty_ev = 80\n",  // typo
+      "campaign.mmd");
+  try {
+    (void)serve::CampaignSpec::parse(kv);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("campaign.mmd:2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("pka.enerty_ev"), std::string::npos);
+  }
+}
+
+TEST(CampaignSpec, TypoInSweepTargetNamesCampaignFileAndLine) {
+  const auto kv = util::KeyValueConfig::parse(
+      "box = 6\n"
+      "sweep.kmc.cylces = 10,20\n",  // typo
+      "campaign.mmd");
+  try {
+    (void)serve::CampaignSpec::parse(kv);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("campaign.mmd:2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("kmc.cylces"), std::string::npos);
+  }
+}
+
+TEST(CampaignSpec, RejectsRunnerOwnedKeys) {
+  EXPECT_THROW(serve::CampaignSpec::parse(util::KeyValueConfig::parse(
+                   "checkpoint.dir = somewhere\n")),
+               std::invalid_argument);
+  EXPECT_THROW(serve::CampaignSpec::parse(
+                   util::KeyValueConfig::parse("xyz = out.xyz\n")),
+               std::invalid_argument);
+  EXPECT_THROW(serve::CampaignSpec::parse(util::KeyValueConfig::parse(
+                   "sweep.checkpoint.every = 1,2\n")),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, RejectsCampaignKeyTypos) {
+  EXPECT_THROW(serve::CampaignSpec::parse(util::KeyValueConfig::parse(
+                   "campaign.max_concurrnet = 4\n")),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, RejectsEmptySweepValues) {
+  EXPECT_THROW(serve::CampaignSpec::parse(util::KeyValueConfig::parse(
+                   "sweep.temperature = 300,,600\n")),
+               std::invalid_argument);
+  EXPECT_THROW(serve::CampaignSpec::parse(
+                   util::KeyValueConfig::parse("sweep.temperature =\n")),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, DetectsSlavePoolUse) {
+  const auto spec = serve::CampaignSpec::parse(util::KeyValueConfig::parse(
+      "accel = slave\nsweep.pka.energy_ev = 40,80\n"));
+  EXPECT_TRUE(spec.uses_slave_pool);
+}
+
+TEST(CampaignSpec, ExampleTextParsesAndExpands) {
+  const auto spec = serve::CampaignSpec::parse(
+      util::KeyValueConfig::parse(serve::campaign_example_text(), "example"));
+  EXPECT_EQ(spec.name, "quick-matrix");
+  EXPECT_EQ(spec.max_concurrent, 4);
+  EXPECT_EQ(spec.jobs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mmd

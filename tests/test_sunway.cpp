@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sunway/core_group.h"
@@ -234,6 +235,55 @@ TEST(SlavePool, ConstCoreAccessorReadsStats) {
   EXPECT_EQ(cpool.core(1).dma->stats().put_ops, 1u);
   EXPECT_GE(cpool.os_threads(), 1u);
   EXPECT_LE(cpool.os_threads(), 2u);
+}
+
+TEST(SlavePool, ConcurrentSubmittersInterleaveSafely) {
+  // Campaign service mode: several jobs share one pool and submit epochs
+  // concurrently. Epochs serialize on the submit lock, every epoch covers
+  // every core exactly once, and per-submitter sums stay exact.
+  constexpr int kSubmitters = 4;
+  constexpr int kEpochsEach = 50;
+  constexpr std::size_t kCores = 8;
+  SlaveCorePool pool(kCores, 4096);
+  pool.reset_activity();
+  std::vector<std::atomic<std::uint64_t>> per_submitter(kSubmitters);
+  std::vector<std::thread> jobs;
+  for (int s = 0; s < kSubmitters; ++s) {
+    jobs.emplace_back([&, s] {
+      for (int e = 0; e < kEpochsEach; ++e) {
+        std::atomic<std::uint64_t> covered{0};
+        pool.run([&](SlaveCtx& ctx) {
+          covered.fetch_add(ctx.core_id + 1);  // sum 1..kCores
+        });
+        EXPECT_EQ(covered.load(), kCores * (kCores + 1) / 2);
+        per_submitter[s].fetch_add(covered.load());
+      }
+    });
+  }
+  for (auto& t : jobs) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(per_submitter[s].load(),
+              static_cast<std::uint64_t>(kEpochsEach) * kCores * (kCores + 1) / 2);
+  }
+  const auto act = pool.activity();
+  EXPECT_EQ(act.epochs, static_cast<std::uint64_t>(kSubmitters) * kEpochsEach);
+  EXPECT_GT(act.busy_seconds, 0.0);
+  // contended_epochs is timing-dependent; it only ever counts real waits.
+  EXPECT_LE(act.contended_epochs, act.epochs);
+}
+
+TEST(SlavePool, ActivityCountsEpochsAndResets) {
+  SlaveCorePool pool(4, 1024);
+  pool.reset_activity();
+  for (int i = 0; i < 3; ++i) pool.run([](SlaveCtx&) {});
+  auto act = pool.activity();
+  EXPECT_EQ(act.epochs, 3u);
+  EXPECT_EQ(act.contended_epochs, 0u);  // single submitter never waits
+  EXPECT_GE(act.busy_seconds, 0.0);
+  pool.reset_activity();
+  act = pool.activity();
+  EXPECT_EQ(act.epochs, 0u);
+  EXPECT_DOUBLE_EQ(act.busy_seconds, 0.0);
 }
 
 TEST(CoreGroup, DefaultShapeIsSunway) {

@@ -77,6 +77,124 @@ TEST(MetricsRegistry, AggregationAcrossConcurrentRankWriters) {
   EXPECT_NEAR(d.mean(), (kWrites - 1.0) / 2.0, 1e-9);
 }
 
+TEST(MetricsRegistry, SnapshotAndResetPreventsCrossJobBleed) {
+  // Campaign service mode reuses one registry across jobs; the snapshot must
+  // carry everything the job wrote, and the next job must start from zero.
+  MetricsRegistry reg(2);
+  reg.add(0, "kmc.events", 10);
+  reg.add(1, "kmc.events", 5);
+  reg.set_gauge(0, "md.wall_seconds", 2.0);
+  reg.observe(0, "ckpt.write_seconds", 0.5);
+
+  const auto first = reg.snapshot_and_reset();
+  EXPECT_EQ(first.counter("kmc.events"), 15u);
+  EXPECT_DOUBLE_EQ(first.gauge_maximum("md.wall_seconds"), 2.0);
+  EXPECT_EQ(first.dists.at("ckpt.write_seconds").count(), 1u);
+
+  // Second "job" writes a disjoint and an overlapping name; nothing of job 1
+  // may appear — in particular the stale gauge must be gone, not kept at its
+  // old value.
+  reg.add(0, "kmc.events", 3);
+  const auto second = reg.snapshot_and_reset();
+  EXPECT_EQ(second.counter("kmc.events"), 3u);
+  EXPECT_EQ(second.gauge_max.count("md.wall_seconds"), 0u);
+  EXPECT_EQ(second.dists.count("ckpt.write_seconds"), 0u);
+
+  // And after both snapshots the registry is empty.
+  const auto empty = reg.aggregate();
+  EXPECT_TRUE(empty.counters.empty());
+  EXPECT_TRUE(empty.gauge_max.empty());
+  EXPECT_TRUE(empty.dists.empty());
+}
+
+TEST(MetricsRegistry, AggregateMergeMatchesCrossRankSemantics) {
+  // merge() is the fleet rollup: counters sum, gauge maxima max, gauge sums
+  // add, distributions merge exactly (same moments as observing everything
+  // into one registry).
+  MetricsRegistry a(1), b(1);
+  a.add(0, "jobs", 2);
+  a.set_gauge(0, "busy", 1.0);
+  a.observe(0, "lat", 1.0);
+  a.observe(0, "lat", 3.0);
+  b.add(0, "jobs", 5);
+  b.add(0, "extra", 1);
+  b.set_gauge(0, "busy", 4.0);
+  b.observe(0, "lat", 5.0);
+
+  auto fleet = a.aggregate();
+  fleet.merge(b.aggregate());
+  EXPECT_EQ(fleet.counter("jobs"), 7u);
+  EXPECT_EQ(fleet.counter("extra"), 1u);
+  EXPECT_DOUBLE_EQ(fleet.gauge_maximum("busy"), 4.0);
+  EXPECT_DOUBLE_EQ(fleet.gauge_sum.at("busy"), 5.0);
+  const auto& d = fleet.dists.at("lat");
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 5.0);
+
+  // Merging an empty aggregate is the identity.
+  auto copy = fleet;
+  copy.merge(MetricsRegistry(1).aggregate());
+  EXPECT_EQ(copy.counter("jobs"), 7u);
+  EXPECT_DOUBLE_EQ(copy.gauge_maximum("busy"), 4.0);
+}
+
+TEST(Session, ThreadScopeOverridesCurrentPerThread) {
+  Session global(1);
+  ASSERT_TRUE(global.installed());
+  EXPECT_EQ(Session::current(), &global);
+
+  Session::Options opt;
+  opt.install_global = false;
+  opt.lanes_per_rank = 1;
+  opt.events_per_track = 16;
+  Session scoped(1, opt);
+  EXPECT_FALSE(scoped.installed());
+
+  {
+    Session::ThreadScope scope(&scoped);
+    EXPECT_EQ(Session::current(), &scoped);
+    // Another thread without an override still sees the global session.
+    Session* other_thread_view = nullptr;
+    std::thread([&] { other_thread_view = Session::current(); }).join();
+    EXPECT_EQ(other_thread_view, &global);
+    {
+      Session::ThreadScope inner(nullptr);  // "no telemetry here"
+      EXPECT_EQ(Session::current(), nullptr);
+    }
+    EXPECT_EQ(Session::current(), &scoped);
+  }
+  EXPECT_EQ(Session::current(), &global);
+}
+
+TEST(Session, WorldRunPropagatesSubmitterScopeToRankThreads) {
+  // Two concurrent "jobs", each a World under its own thread-scoped session:
+  // every rank's writes must land in its own job's registry, none in the
+  // other's and none in the global fallback.
+  Session global(1);
+  auto run_job = [](Session& s, std::uint64_t amount) {
+    Session::ThreadScope scope(&s);
+    comm::World world(2);
+    world.run([&](comm::Comm& comm) {
+      count("job.steps", amount + static_cast<std::uint64_t>(comm.rank()));
+      comm.barrier();
+    });
+  };
+  Session::Options opt;
+  opt.install_global = false;
+  opt.lanes_per_rank = 1;
+  opt.events_per_track = 64;
+  Session job_a(2, opt), job_b(2, opt);
+  std::thread ta([&] { run_job(job_a, 100); });
+  std::thread tb([&] { run_job(job_b, 500); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(job_a.metrics().aggregate().counter("job.steps"), 201u);
+  EXPECT_EQ(job_b.metrics().aggregate().counter("job.steps"), 1001u);
+  EXPECT_EQ(global.metrics().aggregate().counter("job.steps"), 0u);
+}
+
 TEST(Tracer, SpansAreNoopsOnUnattachedThreads) {
   Tracer tracer(1, 1, 16);
   { MMD_TRACE_SCOPE("orphan"); }

@@ -1,0 +1,111 @@
+// mmd_campaign — campaign service mode: many scenarios multiplexed over one
+// process, with a shared executor and asset cache (docs/SERVICE.md).
+//
+//   mmd_campaign campaign.mmd --root=DIR
+//   mmd_campaign campaign.mmd --root=DIR --resume
+//   mmd_campaign campaign.mmd --root=DIR --summary=summary.json
+//   mmd_campaign campaign.mmd --root=DIR --stop-after-jobs=2   # kill drill
+//   mmd_campaign --print-example > campaign.mmd
+//
+// The campaign file declares a base scenario plus sweep.<key> axes that
+// expand as a cross product into jobs. Jobs run on campaign.max_concurrent
+// lanes; EAM tables are built once per distinct resolution and shared;
+// accel=slave jobs interleave their kernel epochs on one shared slave-core
+// pool. Each job checkpoints into <root>/<id>/ckpt and drops
+// <root>/<id>/result.mmd on completion, so a killed campaign rerun with
+// --resume skips finished jobs and resumes unfinished ones mid-flight.
+//
+// Exit codes: 0 all jobs done, 3 stopped early (some jobs pending),
+// 1 runtime/config error or any job failed, 2 usage error.
+
+#include <cstdio>
+#include <string>
+
+#include "serve/campaign.h"
+#include "serve/campaign_runner.h"
+
+using namespace mmd;
+
+int main(int argc, char** argv) {
+  std::string campaign_path;
+  serve::CampaignRunner::Options opt;
+  std::string summary_out;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-example") {
+      std::fputs(serve::campaign_example_text().c_str(), stdout);
+      return 0;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      opt.root = arg.substr(7);
+    } else if (arg.rfind("--summary=", 0) == 0) {
+      summary_out = arg.substr(10);
+    } else if (arg.rfind("--max-concurrent=", 0) == 0) {
+      opt.max_concurrent = std::stoi(arg.substr(17));
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      opt.checkpoint_every = std::stoi(arg.substr(19));
+    } else if (arg.rfind("--stop-after-jobs=", 0) == 0) {
+      opt.stop_after_jobs = std::stoi(arg.substr(18));
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage_error = true;
+    } else if (campaign_path.empty()) {
+      campaign_path = arg;
+    } else {
+      usage_error = true;
+    }
+  }
+  if (usage_error || campaign_path.empty() || opt.root.empty()) {
+    std::fprintf(stderr,
+                 "usage: mmd_campaign <campaign-file> --root=DIR [--resume]\n"
+                 "                    [--max-concurrent=N] [--summary=FILE]\n"
+                 "                    [--checkpoint-every=CYCLES] "
+                 "[--stop-after-jobs=N]\n"
+                 "       mmd_campaign --print-example\n");
+    return 2;
+  }
+
+  try {
+    serve::CampaignSpec spec = serve::CampaignSpec::parse_file(campaign_path);
+    opt.on_job_complete = [](const serve::JobResult& r) {
+      if (!r.error.empty()) {
+        std::printf("mmd_campaign: %s [%s] FAILED after %.2f s: %s\n",
+                    r.id.c_str(), r.label.c_str(), r.wall_seconds,
+                    r.error.c_str());
+      } else {
+        std::printf(
+            "mmd_campaign: %s [%s] %s (%.2f s, %llu vacancies, crc %u)\n",
+            r.id.c_str(), r.label.c_str(),
+            r.skipped ? "already done" : "completed", r.wall_seconds,
+            static_cast<unsigned long long>(r.vacancies), r.vacancies_crc);
+      }
+      std::fflush(stdout);
+    };
+    serve::CampaignRunner runner(std::move(spec), std::move(opt));
+    std::printf("mmd_campaign: %zu job(s), %d lane(s)%s\n",
+                runner.spec().jobs.size(), runner.spec().max_concurrent,
+                runner.spec().uses_slave_pool ? ", shared slave pool" : "");
+    const serve::CampaignOutcome outcome = runner.run();
+    std::printf(
+        "mmd_campaign: %d completed, %d skipped, %d failed of %zu in %.2f s "
+        "(%.1f jobs/hour, pool utilization %.0f%%)\n",
+        outcome.completed, outcome.skipped, outcome.failed,
+        runner.spec().jobs.size(), outcome.wall_seconds, outcome.jobs_per_hour,
+        100.0 * outcome.pool_utilization);
+    if (!summary_out.empty()) {
+      if (!serve::write_campaign_summary_file(summary_out, runner.spec(),
+                                              outcome)) {
+        std::fprintf(stderr, "error: cannot write %s\n", summary_out.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (campaign summary)\n", summary_out.c_str());
+    }
+    if (outcome.failed > 0) return 1;
+    return outcome.complete ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

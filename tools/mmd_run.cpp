@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "core/scenario.h"
 #include "core/simulation.h"
 #include "telemetry/analysis.h"
 #include "telemetry/export.h"
@@ -56,28 +57,9 @@ namespace {
 void print_defaults() {
   std::printf(
       "# mmd_run configuration (defaults shown)\n"
-      "box           = 10      # unit cells per axis\n"
-      "ranks         = 1       # in-process message-passing ranks\n"
-      "temperature   = 600     # K\n"
-      "seed          = 42\n"
-      "md.time_ps    = 0.08    # cascade MD window\n"
-      "md.table_segments = 2000\n"
-      "pka.count     = 1\n"
-      "pka.energy_ev = 60\n"
-      "kmc.cycles    = 50\n"
-      "kmc.strategy  = on-demand  # traditional | on-demand | on-demand-2sided\n"
-      "kmc.dt_scale  = 1.0\n"
-      "solute        = 0.0      # Fe-Cu alloy: Cu fraction\n"
-      "xyz           =          # optional: write final KMC sites as .xyz\n"
-      "checkpoint.dir   =       # optional: directory for per-rank checkpoints\n"
-      "checkpoint.every = 0     # KMC cycles between epochs (0 = off)\n");
-}
-
-kmc::GhostStrategy parse_strategy(const std::string& s) {
-  if (s == "traditional") return kmc::GhostStrategy::Traditional;
-  if (s == "on-demand") return kmc::GhostStrategy::OnDemandOneSided;
-  if (s == "on-demand-2sided") return kmc::GhostStrategy::OnDemandTwoSided;
-  throw std::invalid_argument("unknown kmc.strategy '" + s + "'");
+      "%s"
+      "xyz           =          # optional: write final KMC sites as .xyz\n",
+      core::scenario_defaults_text().c_str());
 }
 
 }  // namespace
@@ -135,26 +117,11 @@ int main(int argc, char** argv) {
   try {
     const auto cfg_file = util::KeyValueConfig::parse_file(config_path);
 
-    core::SimulationConfig cfg;
-    const auto box = static_cast<int>(cfg_file.get_int("box", 10));
-    cfg.md.nx = cfg.md.ny = cfg.md.nz = box;
-    cfg.nranks = static_cast<int>(cfg_file.get_int("ranks", 1));
-    cfg.md.temperature = cfg_file.get_double("temperature", 600.0);
-    cfg.md.seed = static_cast<std::uint64_t>(cfg_file.get_int("seed", 42));
-    cfg.md_time_ps = cfg_file.get_double("md.time_ps", 0.08);
-    cfg.md.table_segments =
-        static_cast<int>(cfg_file.get_int("md.table_segments", 2000));
-    cfg.pka_count = static_cast<int>(cfg_file.get_int("pka.count", 1));
-    cfg.pka_energy_ev = cfg_file.get_double("pka.energy_ev", 60.0);
-    cfg.kmc_cycles = static_cast<int>(cfg_file.get_int("kmc.cycles", 50));
-    cfg.kmc_dt_scale = cfg_file.get_double("kmc.dt_scale", 1.0);
-    cfg.kmc_strategy =
-        parse_strategy(cfg_file.get_string("kmc.strategy", "on-demand"));
-    cfg.solute_fraction = cfg_file.get_double("solute", 0.0);
+    core::SimulationConfig cfg = core::scenario_from_kv(cfg_file);
     const std::string xyz_path = cfg_file.get_string("xyz", "");
-    cfg.checkpoint_dir = cfg_file.get_string("checkpoint.dir", "");
-    cfg.checkpoint_every =
-        static_cast<int>(cfg_file.get_int("checkpoint.every", 0));
+    // A typo'd key would silently fall through to its default; fail loudly
+    // with the offending file:line instead.
+    cfg_file.reject_unknown_keys();
     if (!checkpoint_dir.empty()) cfg.checkpoint_dir = checkpoint_dir;
     if (checkpoint_every >= 0) cfg.checkpoint_every = checkpoint_every;
     cfg.resume = resume;
@@ -164,13 +131,7 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const auto unknown = cfg_file.unknown_keys();
-    if (!unknown.empty()) {
-      std::fprintf(stderr, "error: unknown configuration keys:\n");
-      for (const auto& k : unknown) std::fprintf(stderr, "  %s\n", k.c_str());
-      return 2;
-    }
-
+    const int box = cfg.md.nx;
     std::printf("mmd_run: %d^3 cells (%d atoms), %d ranks, T = %.0f K\n", box,
                 2 * box * box * box, cfg.nranks, cfg.md.temperature);
     telemetry::Session session(cfg.nranks);
