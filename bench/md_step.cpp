@@ -36,8 +36,13 @@ int main() {
   struct Mode {
     const char* key;
     bool fused;
+    bool simd;
   };
-  constexpr std::array<Mode, 2> kModes = {{{"fused", true}, {"two_pass", false}}};
+  // fused_scalar isolates the SIMD win from the SoA-staging win: it runs the
+  // same fused sweep with the AVX2 kernels disabled (md.simd=off path).
+  constexpr std::array<Mode, 3> kModes = {{{"fused", true, true},
+                                           {"fused_scalar", true, false},
+                                           {"two_pass", false, true}}};
 
   const int warm = std::max(1, h.options().warmup);
   const int reps = h.options().repeats;
@@ -61,6 +66,7 @@ int main() {
       md::SlaveForceCompute kernel(tables, pool,
                                    md::AccelStrategy::CompactedReuse);
       kernel.set_fused(mode.fused);
+      kernel.set_simd(mode.simd);
       engine.use_slave_kernel(&kernel);
       engine.initialize(comm);
       engine.run(comm, warm);

@@ -42,6 +42,13 @@ SimulationConfig scenario_from_kv(const util::KeyValueConfig& kv) {
         "accel=slave is single-species (pure Fe); alloy runs (solute > 0) "
         "must use accel=reference");
   }
+  const std::string simd = kv.get_string("md.simd", "auto");
+  if (simd == "off") {
+    cfg.use_simd_force = false;
+  } else if (simd != "auto") {
+    throw std::invalid_argument("unknown md.simd '" + simd +
+                                "' (expected auto | off)");
+  }
   cfg.checkpoint_dir = kv.get_string("checkpoint.dir", "");
   cfg.checkpoint_every =
       static_cast<int>(kv.get_int("checkpoint.every", 0));
@@ -64,6 +71,7 @@ std::string scenario_defaults_text() {
       "kmc.table_segments = 2000\n"
       "solute        = 0.0      # Fe-Cu alloy: Cu fraction\n"
       "accel         = reference  # reference | slave (slave-core force kernel)\n"
+      "md.simd       = auto     # auto | off (AVX2 kernels in the slave force path)\n"
       "checkpoint.dir   =       # optional: directory for per-rank checkpoints\n"
       "checkpoint.every = 0     # KMC cycles between epochs (0 = off)\n";
 }

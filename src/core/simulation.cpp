@@ -201,6 +201,7 @@ SimulationReport Simulation::run() {
     if (cfg_.use_slave_force) {
       slave_force = std::make_unique<md::SlaveForceCompute>(
           *md_tables_, *pool, md::AccelStrategy::CompactedReuse);
+      slave_force->set_simd(cfg_.use_simd_force);
       md_engine.use_slave_kernel(slave_force.get());
     }
 

@@ -58,6 +58,11 @@ struct SimulationConfig {
   /// reference master-core path (identical physics; see md::SlaveForceCompute).
   /// Single-species only: rejected when solute_fraction > 0.
   bool use_slave_force = false;
+  /// Allow the AVX2 block kernels in the slave force path (scenario key
+  /// `md.simd = auto|off`). True means auto: vectorize when the build and
+  /// CPU support it and the sweep's tables are store-resident; false pins
+  /// the scalar loops (for A/B runs and debugging).
+  bool use_simd_force = true;
   /// Executor for the slave force path. In campaign service mode many
   /// concurrent jobs point at ONE pool and interleave epochs on it; nullptr
   /// makes the simulation own a private pool. Not owned; must outlive run().

@@ -1,0 +1,32 @@
+#include "lattice/soa_pack.h"
+
+#include "lattice/lattice_neighbor_list.h"
+
+namespace mmd::lat {
+
+void SoaPlanes::reset(const LocalBox& box) {
+  num_cells_ = box.num_cells();
+  const std::size_t n = 2 * num_cells_;
+  x_.resize(n);
+  y_.resize(n);
+  z_.resize(n);
+  fprime_.resize(n);
+  id_.resize(n);
+}
+
+void SoaPlanes::pack_positions(const LatticeNeighborList& lnl) {
+  // Iterate in slot order (sub-major) so every plane is written as two
+  // contiguous streaming passes instead of a strided scatter.
+  for (std::size_t sub = 0; sub < 2; ++sub) {
+    const std::size_t base = sub * num_cells_;
+    for (std::size_t cell = 0; cell < num_cells_; ++cell) {
+      const AtomEntry& e = lnl.entry(2 * cell + sub);
+      x_[base + cell] = e.r.x;
+      y_[base + cell] = e.r.y;
+      z_[base + cell] = e.r.z;
+      id_[base + cell] = e.is_atom() ? static_cast<double>(e.id) : -1.0;
+    }
+  }
+}
+
+}  // namespace mmd::lat

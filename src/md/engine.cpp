@@ -54,6 +54,11 @@ void MdEngine::initialize(comm::Comm& comm) {
   comm_time_.start();
   ghosts_.exchange(comm);
   comm_time_.stop();
+  // Observability: how wide the force kernels run (4 = AVX2 doubles, 1 =
+  // scalar). Per-sweep table residency can still drop a vectorized sweep to
+  // scalar; that shows up in sw.table.fallback instead.
+  telemetry::set_gauge("md.force.simd_lanes",
+                       slave_ != nullptr && slave_->simd() ? 4.0 : 1.0);
   compute_all_forces(comm);
 }
 

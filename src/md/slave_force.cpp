@@ -6,28 +6,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "md/slave_force_kernels.h"
 #include "potential/table_access.h"
 #include "telemetry/session.h"
 #include "util/timer.h"
 
 namespace mmd::md {
-
-namespace {
-
-/// Window-local flat deltas for a block window of row length `row_cells`
-/// cells ((bx + 2h) cells per (dy,dz) row, wy = 2h+1 rows per axis).
-std::vector<std::int64_t> window_deltas(const std::vector<lat::SiteOffset>& offs,
-                                        int sub, int row_cells, int wy) {
-  std::vector<std::int64_t> d;
-  d.reserve(offs.size());
-  for (const auto& o : offs) {
-    d.push_back(((static_cast<std::int64_t>(o.dz) * wy + o.dy) * row_cells + o.dx) * 2 +
-                (o.to_sub - sub));
-  }
-  return d;
-}
-
-}  // namespace
 
 std::string to_string(AccelStrategy s) {
   switch (s) {
@@ -40,11 +24,13 @@ std::string to_string(AccelStrategy s) {
   return "?";
 }
 
+bool SlaveForceCompute::simd_supported() { return detail::simd_available(); }
+
 SlaveForceCompute::SlaveForceCompute(const pot::EamTableSet& tables,
                                      sw::SlaveCorePool& pool,
                                      AccelStrategy strategy)
     : tables_(&tables), pool_(&pool), strategy_(strategy),
-      compute_s_(pool.size(), 0.0) {
+      simd_(detail::simd_available()), compute_s_(pool.size(), 0.0) {
   if (tables.num_species != 1) {
     throw std::invalid_argument(
         "SlaveForceCompute: the slave-core path handles the single-species "
@@ -79,41 +65,36 @@ double SlaveForceCompute::modeled_time() const {
 
 void SlaveForceCompute::pack(const lat::LatticeNeighborList& lnl,
                              bool with_fprime) {
-  packed_.resize(lnl.size());
-  const auto& embed = tables_->embed_of(0);
-  for (std::size_t i = 0; i < lnl.size(); ++i) {
-    const lat::AtomEntry& e = lnl.entry(i);
-    Packed& p = packed_[i];
-    p.x = e.r.x;
-    p.y = e.r.y;
-    p.z = e.r.z;
-    p.fprime = (with_fprime && e.is_atom()) ? embed.derivative(e.rho) : 0.0;
-    p.id = e.is_atom() ? static_cast<double>(e.id) : -1.0;
-  }
+  planes_.reset(lnl.box());
+  planes_.pack_positions(lnl);
+  if (with_fprime) refresh_fprime(lnl);
 }
 
 void SlaveForceCompute::refresh_fprime(const lat::LatticeNeighborList& lnl) {
   const auto& embed = tables_->embed_of(0);
+  double* fp = planes_.fprime();
   for (std::size_t i = 0; i < lnl.size(); ++i) {
     const lat::AtomEntry& e = lnl.entry(i);
-    packed_[i].fprime = e.is_atom() ? embed.derivative(e.rho) : 0.0;
+    fp[planes_.slot(i)] = e.is_atom() ? embed.derivative(e.rho) : 0.0;
   }
 }
 
 void SlaveForceCompute::refresh_fprime_owned(const lat::LatticeNeighborList& lnl) {
   const auto& embed = tables_->embed_of(0);
+  double* fp = planes_.fprime();
   for (std::size_t i : lnl.owned_indices()) {
     const lat::AtomEntry& e = lnl.entry(i);
-    packed_[i].fprime = e.is_atom() ? embed.derivative(e.rho) : 0.0;
+    fp[planes_.slot(i)] = e.is_atom() ? embed.derivative(e.rho) : 0.0;
   }
 }
 
 void SlaveForceCompute::refresh_fprime_ghosts(const lat::LatticeNeighborList& lnl) {
   const auto& embed = tables_->embed_of(0);
+  double* fp = planes_.fprime();
   for (std::size_t i = 0; i < lnl.size(); ++i) {
     if (lnl.is_owned(i)) continue;
     const lat::AtomEntry& e = lnl.entry(i);
-    packed_[i].fprime = e.is_atom() ? embed.derivative(e.rho) : 0.0;
+    fp[planes_.slot(i)] = e.is_atom() ? embed.derivative(e.rho) : 0.0;
   }
 }
 
@@ -123,6 +104,13 @@ void SlaveForceCompute::sweep(
     std::vector<std::conditional_t<S == Stage::Rho, double, util::Vec3>>& out) {
   using Out = std::conditional_t<S == Stage::Rho, double, util::Vec3>;
   constexpr bool kFused = S == Stage::FusedForce;
+  // Planes a pass stages through the local store: x/y/z/id always, the
+  // F'(rho) plane only when the stage's kernel reads it. Order matters —
+  // the window pointer array below is indexed the same way.
+  constexpr int kPlanes = (S == Stage::DensForce || kFused) ? 5 : 4;
+  constexpr std::size_t kTailPad = 4;  ///< zeroed doubles per plane, so
+                                       ///< full-width remainder loads stay
+                                       ///< inside the allocation
   const lat::LocalBox box = lnl.box();
   const int h = box.halo;
   const int wy = 2 * h + 1;
@@ -152,10 +140,27 @@ void SlaveForceCompute::sweep(
   const std::size_t total_rows = static_cast<std::size_t>(ry) *
                                  static_cast<std::size_t>(region.z1 - region.z0);
 
+  // Main-memory plane sources, in window-plane order.
+  const std::size_t num_cells = planes_.cells();
+  const double* mains[5] = {planes_.x(), planes_.y(), planes_.z(),
+                            planes_.id(), planes_.fprime()};
+
   pool_->run([&](sw::SlaveCtx& ctx) {
     util::Timer timer;
     sw::LocalStore& store = *ctx.local_store;
     sw::DmaEngine& dma = *ctx.dma;
+
+    // Bytes a window of `cand` central cells needs: kPlanes padded planes
+    // (64-byte aligned, hence the per-plane slack) of 2 sublattices x
+    // rows_per_window rows x (cand + 2h) cells.
+    auto window_bytes = [&](int cand) {
+      const std::size_t doubles =
+          2 * static_cast<std::size_t>(rows_per_window) *
+              static_cast<std::size_t>(cand + 2 * h) +
+          kTailPad;
+      return static_cast<std::size_t>(kPlanes) *
+             (doubles * sizeof(double) + 64);
+    };
 
     // Table residency: compacted tables are staged whole (paper: "load the
     // whole compacted table into the local store at one time"); the
@@ -166,9 +171,7 @@ void SlaveForceCompute::sweep(
     // Smallest footprint a one-cell block needs next to the staged tables;
     // a table is staged resident only when that much room is left over.
     const std::size_t min_window_bytes =
-        static_cast<std::size_t>(1 + 2 * h) * 2 *
-            static_cast<std::size_t>(rows_per_window) * sizeof(Packed) +
-        2 * sizeof(Out) + 2048;
+        window_bytes(1) + 2 * sizeof(Out) + 2048;
     const bool want_primary =
         !Traditional &&
         store.remaining() >= primary.bytes() + min_window_bytes;
@@ -188,34 +191,74 @@ void SlaveForceCompute::sweep(
       if (fallback) table_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    // The vector kernels index resident padded tables with gathers; any
+    // sweep that cannot keep a needed table resident (or runs the
+    // traditional format) takes the scalar loop below instead.
+    bool use_simd = false;
+    if constexpr (!Traditional) {
+      use_simd = simd_ && primary_access.resident();
+      if constexpr (kFused) use_simd = use_simd && secondary_access.resident();
+    }
+    detail::SimdTable prim_tab, sec_tab;
+    if (use_simd) {
+      prim_tab = {primary_access.padded(), primary.x_min(), primary.dx(),
+                  primary.x_min() / primary.dx(), primary.segments() - 1};
+      if constexpr (kFused) {
+        sec_tab = {secondary_access.padded(), secondary.x_min(),
+                   secondary.dx(), secondary.x_min() / secondary.dx(),
+                   secondary.segments() - 1};
+      }
+    }
+
     // Block width: the largest bx whose window + output fit what is left of
     // the 64 KB store.
     const std::size_t budget = store.remaining() > 2048 ? store.remaining() - 2048 : 0;
     int bx = 0;
     for (int cand = 1; cand <= rx; ++cand) {
-      const std::size_t win_bytes = static_cast<std::size_t>(cand + 2 * h) * 2 *
-                                    rows_per_window * sizeof(Packed);
       const std::size_t out_bytes = static_cast<std::size_t>(cand) * 2 * sizeof(Out);
-      if (win_bytes + out_bytes <= budget) bx = cand; else break;
+      if (window_bytes(cand) + out_bytes <= budget) bx = cand; else break;
     }
     if (bx == 0) {
       throw std::runtime_error(
           "SlaveForceCompute: local store too small for even a one-cell block");
     }
     const int row_cells = bx + 2 * h;
-    const std::size_t win_entries =
-        static_cast<std::size_t>(row_cells) * 2 * rows_per_window;
-    Packed* window = store.allocate_array<Packed>(win_entries);
+    const std::size_t plane_len =
+        2 * static_cast<std::size_t>(rows_per_window) *
+            static_cast<std::size_t>(row_cells) +
+        kTailPad;
+    double* win[5] = {};
+    for (int p = 0; p < kPlanes; ++p) {
+      win[p] = store.allocate_array<double>(plane_len, 64);
+    }
     Out* out_buf = store.allocate_array<Out>(static_cast<std::size_t>(bx) * 2);
-    if (window == nullptr || out_buf == nullptr) {
+    bool alloc_ok = out_buf != nullptr;
+    for (int p = 0; p < kPlanes; ++p) alloc_ok = alloc_ok && win[p] != nullptr;
+    if (!alloc_ok) {
       throw std::runtime_error("SlaveForceCompute: local store allocation failed");
     }
-
-    std::vector<std::int64_t> wdeltas[2];
-    for (int sub = 0; sub <= 1; ++sub) {
-      wdeltas[sub] = window_deltas(lnl.offsets(sub), sub, row_cells, wy);
+    // Zero the planes once: over-reads between rows and into the tail pad
+    // (masked SIMD lanes only) then read defined values.
+    for (int p = 0; p < kPlanes; ++p) {
+      std::memset(win[p], 0, plane_len * sizeof(double));
     }
-    const std::int64_t central_row = static_cast<std::int64_t>(h) * wy + h;
+
+    // Per-sublattice stencil, as absolute int32 offsets into a window plane:
+    // neighbor slot = wdeltas[sub][j] + xi, central slot = cbase[sub] + xi.
+    const int crow = h * wy + h;
+    std::vector<std::int32_t> wdeltas[2];
+    std::int32_t cbase[2];
+    for (int sub = 0; sub <= 1; ++sub) {
+      cbase[sub] = static_cast<std::int32_t>(
+          (sub * rows_per_window + crow) * row_cells + h);
+      const auto& offs = lnl.offsets(sub);
+      wdeltas[sub].reserve(offs.size());
+      for (const auto& o : offs) {
+        wdeltas[sub].push_back(static_cast<std::int32_t>(
+            (o.to_sub * rows_per_window + crow + o.dz * wy + o.dy) * row_cells +
+            h + o.dx));
+      }
+    }
 
     // Slab: a contiguous chunk of owned (y,z) rows for this core.
     const std::size_t chunk = (total_rows + pool_->size() - 1) / pool_->size();
@@ -223,7 +266,19 @@ void SlaveForceCompute::sweep(
     const std::size_t row_end = std::min(total_rows, row_begin + chunk);
 
     std::vector<sw::DmaEngine::Run> runs;
-    runs.reserve(static_cast<std::size_t>(rows_per_window));
+    runs.reserve(static_cast<std::size_t>(kPlanes) * 2 *
+                 static_cast<std::size_t>(rows_per_window));
+    auto window_row = [&](int p, int sb, int rr) {
+      return win[p] + (static_cast<std::size_t>(sb) * rows_per_window + rr) *
+                          static_cast<std::size_t>(row_cells);
+    };
+    auto main_row = [&](int p, int sb, int x, int cy, int cz, int rr) {
+      const int dy = rr % wy - h;
+      const int dz = rr / wy - h;
+      const std::size_t cell0 =
+          box.entry_index({x, cy + dy, cz + dz, 0}) >> 1;
+      return mains[p] + static_cast<std::size_t>(sb) * num_cells + cell0;
+    };
 
     for (std::size_t row = row_begin; row < row_end; ++row) {
       const int cy = region.y0 + static_cast<int>(row % static_cast<std::size_t>(ry));
@@ -231,30 +286,33 @@ void SlaveForceCompute::sweep(
       bool window_valid = false;
       for (int x0 = region.x0; x0 < region.x1; x0 += bx) {
         const int bw = std::min(bx, region.x1 - x0);
-        // --- window transfer ---
+        // --- window transfer (one batched DMA regardless of plane count) ---
         runs.clear();
         if (reuse && window_valid) {
-          // Slide the window left by bx cells locally, then DMA only the new
-          // tail slice of each row (the paper's ghost-data reuse).
-          const std::size_t keep = static_cast<std::size_t>(2 * h) * 2;
-          const std::size_t rowlen = static_cast<std::size_t>(row_cells) * 2;
-          for (int rr = 0; rr < rows_per_window; ++rr) {
-            Packed* wrow = window + static_cast<std::size_t>(rr) * rowlen;
-            std::memmove(wrow, wrow + static_cast<std::size_t>(2 * bx), keep * sizeof(Packed));
-            const int dy = rr % wy - h;
-            const int dz = rr / wy - h;
-            const std::size_t src = box.entry_index({x0 + h, cy + dy, cz + dz, 0});
-            runs.push_back({wrow + keep, packed_.data() + src,
-                            static_cast<std::size_t>(bw) * 2 * sizeof(Packed)});
+          // Slide each plane row left by bx cells locally, then DMA only the
+          // new tail slice (the paper's ghost-data reuse).
+          const std::size_t keep = static_cast<std::size_t>(2 * h);
+          for (int p = 0; p < kPlanes; ++p) {
+            for (int sb = 0; sb < 2; ++sb) {
+              for (int rr = 0; rr < rows_per_window; ++rr) {
+                double* wrow = window_row(p, sb, rr);
+                std::memmove(wrow, wrow + bx, keep * sizeof(double));
+                runs.push_back({wrow + keep,
+                                main_row(p, sb, x0 + h, cy, cz, rr),
+                                static_cast<std::size_t>(bw) * sizeof(double)});
+              }
+            }
           }
         } else {
-          for (int rr = 0; rr < rows_per_window; ++rr) {
-            const int dy = rr % wy - h;
-            const int dz = rr / wy - h;
-            const std::size_t src = box.entry_index({x0 - h, cy + dy, cz + dz, 0});
-            runs.push_back({window + static_cast<std::size_t>(rr) * row_cells * 2,
-                            packed_.data() + src,
-                            static_cast<std::size_t>(bw + 2 * h) * 2 * sizeof(Packed)});
+          for (int p = 0; p < kPlanes; ++p) {
+            for (int sb = 0; sb < 2; ++sb) {
+              for (int rr = 0; rr < rows_per_window; ++rr) {
+                runs.push_back({window_row(p, sb, rr),
+                                main_row(p, sb, x0 - h, cy, cz, rr),
+                                static_cast<std::size_t>(bw + 2 * h) *
+                                    sizeof(double)});
+              }
+            }
           }
           window_valid = true;
         }
@@ -262,56 +320,88 @@ void SlaveForceCompute::sweep(
 
         // --- compute owned entries of the block ---
         timer.reset();
-        for (int xi = 0; xi < bw; ++xi) {
-          for (int sub = 0; sub <= 1; ++sub) {
-            const std::size_t wc =
-                (static_cast<std::size_t>(central_row) * row_cells + h + xi) * 2 +
-                static_cast<std::size_t>(sub);
-            const Packed& c = window[wc];
-            Out acc{};
-            if (c.id >= 0.0) {
-              for (const std::int64_t d : wdeltas[sub]) {
-                const Packed& nb = window[wc + static_cast<std::size_t>(d)];
-                if (nb.id < 0.0) continue;
-                const double dx = nb.x - c.x, dy2 = nb.y - c.y, dz2 = nb.z - c.z;
-                const double r2 = dx * dx + dy2 * dy2 + dz2 * dz2;
-                if (r2 > cut2 || r2 == 0.0) continue;
-                const double r = std::max(std::sqrt(r2), r_min);
-                if constexpr (S == Stage::Rho) {
-                  double val = 0.0;
-                  if constexpr (Traditional) {
-                    trad_primary_access.eval(r, &val, nullptr);
-                  } else {
-                    primary_access.eval(r, &val, nullptr);
-                  }
-                  acc += val;
-                } else {
-                  double pder = 0.0;
-                  if constexpr (Traditional) {
-                    trad_primary_access.eval(r, nullptr, &pder);
-                  } else {
-                    primary_access.eval(r, nullptr, &pder);
-                  }
-                  double s;
-                  if constexpr (S == Stage::PairForce) {
-                    s = pder / r;
-                  } else if constexpr (S == Stage::DensForce) {
-                    s = (c.fprime + nb.fprime) * pder / r;
-                  } else {  // FusedForce: pder is phi'; also evaluate f'.
-                    double fder = 0.0;
+        if (use_simd) {
+          detail::BlockArgs a;
+          a.w.x = win[0];
+          a.w.y = win[1];
+          a.w.z = win[2];
+          a.w.id = win[3];
+          a.w.fprime = kPlanes == 5 ? win[4] : nullptr;
+          a.central_base[0] = cbase[0];
+          a.central_base[1] = cbase[1];
+          a.deltas[0] = wdeltas[0].data();
+          a.deltas[1] = wdeltas[1].data();
+          a.num_deltas[0] = static_cast<std::int32_t>(wdeltas[0].size());
+          a.num_deltas[1] = static_cast<std::int32_t>(wdeltas[1].size());
+          a.cut2 = cut2;
+          a.r_min = r_min;
+          a.bw = bw;
+          if constexpr (S == Stage::Rho) {
+            detail::simd_rho_block(a, prim_tab, out_buf);
+          } else if constexpr (S == Stage::PairForce) {
+            detail::simd_pair_block(a, prim_tab, out_buf);
+          } else if constexpr (S == Stage::DensForce) {
+            detail::simd_dens_block(a, prim_tab, out_buf);
+          } else {
+            detail::simd_fused_block(a, prim_tab, sec_tab, out_buf);
+          }
+        } else {
+          const double* px = win[0];
+          const double* py = win[1];
+          const double* pz = win[2];
+          const double* pid = win[3];
+          const double* pfp = kPlanes == 5 ? win[4] : nullptr;
+          for (int xi = 0; xi < bw; ++xi) {
+            for (int sub = 0; sub <= 1; ++sub) {
+              const std::int32_t c = cbase[sub] + xi;
+              Out acc{};
+              if (pid[c] >= 0.0) {
+                const double cx = px[c], cyy = py[c], czz = pz[c];
+                const double cfp = pfp != nullptr ? pfp[c] : 0.0;
+                for (const std::int32_t d : wdeltas[sub]) {
+                  const std::int32_t n = d + xi;
+                  if (pid[n] < 0.0) continue;
+                  const double dx = px[n] - cx, dy2 = py[n] - cyy,
+                               dz2 = pz[n] - czz;
+                  const double r2 = dx * dx + dy2 * dy2 + dz2 * dz2;
+                  if (r2 > cut2 || r2 == 0.0) continue;
+                  const double r = std::max(std::sqrt(r2), r_min);
+                  if constexpr (S == Stage::Rho) {
+                    double val = 0.0;
                     if constexpr (Traditional) {
-                      trad_secondary_access.eval(r, nullptr, &fder);
+                      trad_primary_access.eval(r, &val, nullptr);
                     } else {
-                      secondary_access.eval(r, nullptr, &fder);
+                      primary_access.eval(r, &val, nullptr);
                     }
-                    s = (pder + (c.fprime + nb.fprime) * fder) / r;
+                    acc += val;
+                  } else {
+                    double pder = 0.0;
+                    if constexpr (Traditional) {
+                      trad_primary_access.eval(r, nullptr, &pder);
+                    } else {
+                      primary_access.eval(r, nullptr, &pder);
+                    }
+                    double s;
+                    if constexpr (S == Stage::PairForce) {
+                      s = pder / r;
+                    } else if constexpr (S == Stage::DensForce) {
+                      s = (cfp + pfp[n]) * pder / r;
+                    } else {  // FusedForce: pder is phi'; also evaluate f'.
+                      double fder = 0.0;
+                      if constexpr (Traditional) {
+                        trad_secondary_access.eval(r, nullptr, &fder);
+                      } else {
+                        secondary_access.eval(r, nullptr, &fder);
+                      }
+                      s = (pder + (cfp + pfp[n]) * fder) / r;
+                    }
+                    acc += util::Vec3{dx, dy2, dz2} * s;
                   }
-                  acc += util::Vec3{dx, dy2, dz2} * s;
                 }
               }
+              out_buf[static_cast<std::size_t>(xi) * 2 +
+                      static_cast<std::size_t>(sub)] = acc;
             }
-            out_buf[static_cast<std::size_t>(xi) * 2 +
-                    static_cast<std::size_t>(sub)] = acc;
           }
         }
         compute_s_[ctx.core_id] += timer.elapsed();
@@ -416,7 +506,7 @@ void SlaveForceCompute::compute_rho(lat::LatticeNeighborList& lnl) {
 }
 
 void SlaveForceCompute::compute_forces(lat::LatticeNeighborList& lnl) {
-  if (packed_fresh_ && packed_.size() == lnl.size()) {
+  if (packed_fresh_ && planes_.size() == lnl.size()) {
     // Positions have not moved since compute_rho packed them; only F'(rho)
     // changed with the rho ghost exchange.
     refresh_fprime(lnl);
@@ -430,7 +520,7 @@ void SlaveForceCompute::compute_forces(lat::LatticeNeighborList& lnl) {
 }
 
 void SlaveForceCompute::compute_forces_interior(lat::LatticeNeighborList& lnl) {
-  if (!(packed_fresh_ && packed_.size() == lnl.size())) {
+  if (!(packed_fresh_ && planes_.size() == lnl.size())) {
     // Positions moved since the last pack. Stage them WITHOUT F'(rho): the
     // ghost rho it would read is still in flight.
     pack(lnl, /*with_fprime=*/false);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lattice/lattice_neighbor_list.h"
+#include "lattice/soa_pack.h"
 #include "potential/eam.h"
 #include "sunway/slave_pool.h"
 
@@ -27,9 +28,22 @@ std::string to_string(AccelStrategy s);
 ///
 /// The subdomain is split into slabs (one per slave core: a contiguous chunk
 /// of owned (y,z) cell rows); each slab is processed in blocks of `bx` cells
-/// along x. Per block the core DMAs a packed window of (bx+2h)(2h+1)^2 cells
-/// into its local store, evaluates the stage's table(s), and DMAs the results
+/// along x. Per block the core DMAs a window of (bx+2h)(2h+1)^2 cells into
+/// its local store, evaluates the stage's table(s), and DMAs the results
 /// back.
+///
+/// Staging is structure-of-arrays end to end: main memory keeps one
+/// sublattice-deinterleaved plane per field (lat::SoaPlanes), and the local
+/// store window mirrors that as per-field, per-sublattice row blocks, each
+/// 64-byte aligned. A pass moves only the planes it reads (x/y/z/id always;
+/// F'(rho) only for the density-force and fused stages), so the rho and
+/// pair sweeps ship 32 B per entry where the packed-record layout shipped
+/// 40 B. Within a window, one sublattice's row is a contiguous run of
+/// doubles, which makes every stencil offset of a 4-cell central group a
+/// unit-stride vector load — the layout the AVX2 kernels
+/// (slave_force_simd.cpp) are built on. On hardware without AVX2, or
+/// whenever a needed compact table is not store-resident, the sweep runs a
+/// scalar loop over the same planes with the original arithmetic.
 ///
 /// Stage -> table(s) -> output mapping (each sweep writes exactly ONE output
 /// array; see run_scalar_stage / run_vector_stage):
@@ -41,15 +55,15 @@ std::string to_string(AccelStrategy s);
 ///   sweep DENS-FORCE  : density table f          -> sum (F'_i + F'_j) f'(r) d_hat
 ///
 /// The fused sweep (default) walks the block window ONCE per force
-/// evaluation, evaluating both compact tables per pair — half the window DMA
-/// get traffic of the two-pass shape. Both tables are staged resident in the
-/// local store when they fit next to a minimal window; otherwise the
-/// non-resident table falls back to per-segment DMA lookups (counted in
-/// table_fallbacks() and the sw.table.fallback telemetry counter — at the
-/// authentic 2x39 KB table sizes the 64 KB store cannot hold both).
+/// evaluation, evaluating both compact tables per pair — roughly half the
+/// window DMA get traffic of the two-pass shape. Both tables are staged
+/// resident in the local store when they fit next to a minimal window;
+/// otherwise the non-resident table falls back to per-segment DMA lookups
+/// (counted in table_fallbacks() and the sw.table.fallback telemetry counter
+/// — at the authentic 2x39 KB table sizes the 64 KB store cannot hold both).
 ///
-/// One packed array serves a whole step: compute_rho packs positions once and
-/// compute_forces refreshes only the F'(rho) field after the rho ghost
+/// One set of planes serves a whole step: compute_rho packs positions once
+/// and compute_forces refreshes only the F'(rho) plane after the rho ghost
 /// exchange (positions cannot have changed in between).
 ///
 /// Run-away atoms (a few millionths of all atoms) are handled on the master
@@ -71,8 +85,8 @@ class SlaveForceCompute {
   /// completes: it refreshes ghost F'(rho), sweeps the boundary shell, and
   /// runs the run-away complement. Always call interior first, then
   /// boundary; per-entry output is an assignment from the same fixed-order
-  /// window walk, so the region decomposition reproduces compute_forces
-  /// exactly.
+  /// window walk (and the SIMD kernels are lane-position independent), so
+  /// the region decomposition reproduces compute_forces exactly.
   void compute_forces_interior(lat::LatticeNeighborList& lnl);
   void compute_forces_boundary(lat::LatticeNeighborList& lnl);
 
@@ -83,6 +97,16 @@ class SlaveForceCompute {
   /// the fusion win on identical inputs.
   void set_fused(bool on) { fused_ = on; }
   bool fused() const { return fused_; }
+
+  /// Toggle the AVX2 block kernels (default on when the build and CPU
+  /// support them). The SIMD path engages per sweep only for the compacted
+  /// strategies with every needed table store-resident; everything else
+  /// always runs the scalar loop. Off pins the scalar loop everywhere —
+  /// benches and the scalar-vs-SIMD equivalence tests flip this.
+  void set_simd(bool on) { simd_ = on && simd_supported(); }
+  bool simd() const { return simd_; }
+  /// True when the AVX2 kernels were compiled in and this CPU runs them.
+  static bool simd_supported();
 
   /// Number of core-sweeps that could not keep every wanted compact table
   /// resident and fell back to per-segment DMA lookups.
@@ -106,18 +130,10 @@ class SlaveForceCompute {
   double compute_seconds() const;
 
  private:
-  /// Packed particle record staged through the local store (5 doubles: the
-  /// paper's data compaction — only the fields a pass needs move over DMA).
-  struct Packed {
-    double x, y, z;
-    double fprime;  ///< F'(rho) for force passes, 0 in the rho pass
-    double id;      ///< global id; negative marks a vacancy (bit-exact in double)
-  };
-
   enum class Stage { Rho, PairForce, DensForce, FusedForce };
 
   void pack(const lat::LatticeNeighborList& lnl, bool with_fprime);
-  /// Rewrite only the F'(rho) field of an already packed array (the rho
+  /// Rewrite only the F'(rho) plane of already packed planes (the rho
   /// exchange between the two phases of a step changes nothing else).
   void refresh_fprime(const lat::LatticeNeighborList& lnl);
   /// Partial refreshes for the overlap split: owned slots can be refreshed
@@ -163,8 +179,9 @@ class SlaveForceCompute {
   sw::SlaveCorePool* pool_;
   AccelStrategy strategy_;
   bool fused_ = true;
-  std::vector<Packed> packed_;       ///< main-memory staging, entry-indexed
-  bool packed_fresh_ = false;        ///< packed_ holds this step's positions
+  bool simd_;                        ///< set in the constructor
+  lat::SoaPlanes planes_;            ///< main-memory SoA staging, slot-indexed
+  bool packed_fresh_ = false;        ///< planes_ hold this step's positions
   std::vector<double> rho_stage_;
   std::vector<util::Vec3> fpair_stage_;
   std::vector<util::Vec3> fdens_stage_;

@@ -27,6 +27,40 @@ namespace {
 #ifndef MMD_CXX_FLAGS
 #define MMD_CXX_FLAGS ""
 #endif
+#ifndef MMD_SOURCE_DIR
+#define MMD_SOURCE_DIR ""
+#endif
+
+/// Resolve the source tree's HEAD at BENCH RUNTIME. The configure-time SHA
+/// (MMD_GIT_SHA) goes stale the moment a commit lands without re-running
+/// CMake — a baseline refreshed from such a build points perf regressions at
+/// the wrong commit. Runtime resolution asks git directly; the baked-in SHA
+/// remains only as the fallback for tarball builds or stripped environments.
+std::string resolve_git_sha() {
+  const char* dir = MMD_SOURCE_DIR;
+  if (dir[0] != '\0') {
+    const std::string cmd =
+        std::string("git -C \"") + dir + "\" rev-parse --short=12 HEAD 2>/dev/null";
+    if (FILE* pipe = popen(cmd.c_str(), "r")) {
+      char buf[64] = {};
+      const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+      const int status = pclose(pipe);
+      if (got && status == 0) {
+        std::string sha(buf);
+        while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+          sha.pop_back();
+        }
+        const bool hex =
+            sha.size() >= 7 && sha.size() <= 40 &&
+            std::all_of(sha.begin(), sha.end(), [](char c) {
+              return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+            });
+        if (hex) return sha;
+      }
+    }
+  }
+  return MMD_GIT_SHA;
+}
 
 std::string compiler_string() {
 #if defined(__clang__)
@@ -77,7 +111,7 @@ void write_number(std::ostream& os, double v) {
 
 BenchEnv capture_bench_env() {
   BenchEnv env;
-  env.git_sha = MMD_GIT_SHA;
+  env.git_sha = resolve_git_sha();
   env.compiler = compiler_string();
   env.flags = MMD_CXX_FLAGS;
   env.build_type = MMD_BUILD_TYPE;

@@ -16,23 +16,41 @@ namespace mmd::pot {
 /// the whole compacted table into the local store at one time"). Otherwise
 /// each lookup DMAs the contiguous 6-sample window it needs — still a single
 /// small transfer instead of the traditional table's full coefficient row.
+///
+/// The resident copy is staged EDGE-PADDED into a 64-byte-aligned block of
+/// num_samples + 5 doubles: two replicated front samples, the n true
+/// samples, three replicated back samples. Nominal sample j sits at
+/// padded()[j + 2], so the clamped 6-sample window of segment i is the
+/// contiguous run padded()[i .. i+5] — what the SIMD gather kernels index
+/// without per-lane clamping. The scalar eval() below reads through the same
+/// copy; replication makes the padded reads bit-equal to clamped ones.
 class CompactTableAccess {
  public:
+  static constexpr std::size_t kPadFront = 2;
+  static constexpr std::size_t kPadBack = 3;
+
   CompactTableAccess(const CompactTable& table, sw::LocalStore& store,
                      sw::DmaEngine& dma, bool want_resident = true)
       : table_(&table), dma_(&dma) {
     if (want_resident) {
-      const std::size_t bytes =
-          static_cast<std::size_t>(table.num_samples()) * sizeof(double);
-      local_ = store.allocate_array<double>(
-          static_cast<std::size_t>(table.num_samples()));
-      if (local_ != nullptr) {
+      const auto n = static_cast<std::size_t>(table.num_samples());
+      const std::size_t bytes = n * sizeof(double);
+      padded_ = store.allocate_array<double>(n + kPadFront + kPadBack, 64);
+      if (padded_ != nullptr) {
+        local_ = padded_ + kPadFront;
         dma_->get(local_, table.samples(), bytes);
+        padded_[0] = padded_[1] = local_[0];
+        for (std::size_t k = 0; k < kPadBack; ++k) {
+          local_[n + k] = local_[n - 1];
+        }
       }
     }
   }
 
   bool resident() const { return local_ != nullptr; }
+
+  /// Base of the padded resident copy (nullptr when not resident).
+  const double* padded() const { return padded_; }
 
   void eval(double x, double* value, double* derivative) {
     const auto i = static_cast<std::int64_t>(table_->segment_of(x));
@@ -61,7 +79,8 @@ class CompactTableAccess {
  private:
   const CompactTable* table_;
   sw::DmaEngine* dma_;
-  double* local_ = nullptr;
+  double* padded_ = nullptr;
+  double* local_ = nullptr;  ///< padded_ + kPadFront: nominal sample 0
 };
 
 /// Slave-core access path to a traditional coefficient table: at ~273 KB it

@@ -27,9 +27,13 @@ class LocalStore {
   LocalStore& operator=(const LocalStore&) = delete;
 
   /// Allocate `bytes` with the given alignment. Returns nullptr if the
-  /// request does not fit in the remaining space.
+  /// request does not fit in the remaining space. The returned POINTER is
+  /// aligned: the request is padded relative to the storage base address,
+  /// which operator new only guarantees to alignof(max_align_t) — aligning
+  /// the bump offset alone would hand out misaligned pointers for the
+  /// 32/64-byte SIMD staging buffers.
   void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
-    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t offset = aligned_offset(align);
     if (offset + bytes > capacity_) return nullptr;
     used_ = offset + bytes;
     high_water_ = used_ > high_water_ ? used_ : high_water_;
@@ -37,15 +41,17 @@ class LocalStore {
   }
 
   /// Typed allocation of `count` elements of T; nullptr when it does not fit.
+  /// `align` may raise (never lower) the alignment above alignof(T).
   template <typename T>
-  T* allocate_array(std::size_t count) {
-    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  T* allocate_array(std::size_t count, std::size_t align = alignof(T)) {
+    return static_cast<T*>(
+        allocate(count * sizeof(T), align > alignof(T) ? align : alignof(T)));
   }
 
-  /// Whether an allocation of `bytes` would currently succeed.
+  /// Whether an allocation of `bytes` would currently succeed. Uses the same
+  /// rounding as allocate(): fits(b, a) == (allocate(b, a) != nullptr).
   bool fits(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) const {
-    const std::size_t offset = (used_ + align - 1) / align * align;
-    return offset + bytes <= capacity_;
+    return aligned_offset(align) + bytes <= capacity_;
   }
 
   /// Release everything allocated so far (buffers become dangling).
@@ -60,6 +66,16 @@ class LocalStore {
   std::size_t high_water_mark() const { return high_water_; }
 
  private:
+  /// Offset at which the next allocation with `align` starts, computed from
+  /// the actual base ADDRESS so the resulting pointer is aligned even when
+  /// align exceeds the base's own alignment. Shared by allocate() and fits()
+  /// so their rounding can never drift apart.
+  std::size_t aligned_offset(std::size_t align) const {
+    const auto base = reinterpret_cast<std::uintptr_t>(storage_.data());
+    const std::uintptr_t raw = base + used_;
+    return static_cast<std::size_t>((raw + align - 1) / align * align - base);
+  }
+
   std::vector<std::byte> storage_;
   std::size_t capacity_;
   std::size_t used_ = 0;

@@ -47,6 +47,16 @@ TEST(BenchMetric, FinalizeRobustStats) {
 TEST(BenchReport, EnvCaptureIsPopulated) {
   const BenchEnv env = capture_bench_env();
   EXPECT_FALSE(env.git_sha.empty());
+  // The SHA is resolved at runtime from the source checkout (configure-time
+  // value only as fallback): always either abbreviated-hex or "unknown".
+  if (env.git_sha != "unknown") {
+    EXPECT_GE(env.git_sha.size(), 7u);
+    EXPECT_LE(env.git_sha.size(), 40u);
+    for (const char c : env.git_sha) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+          << "non-hex char in git_sha: " << env.git_sha;
+    }
+  }
   EXPECT_FALSE(env.compiler.empty());
   EXPECT_FALSE(env.build_type.empty());
   EXPECT_GE(env.hardware_threads, 1);

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "lattice/ghost_exchange.h"
+#include "lattice/lattice_neighbor_list.h"
+#include "lattice/soa_pack.h"
+#include "md/engine.h"
+
+namespace mmd::lat {
+namespace {
+
+TEST(SoaPlanes, SlotMappingIsABijection) {
+  LocalBox box;
+  box.lx = box.ly = box.lz = 4;
+  box.halo = 2;
+  SoaPlanes p;
+  p.reset(box);
+  ASSERT_EQ(p.size(), box.num_entries());
+  std::vector<bool> seen(p.size(), false);
+  for (std::size_t idx = 0; idx < p.size(); ++idx) {
+    const std::size_t s = p.slot(idx);
+    ASSERT_LT(s, p.size());
+    EXPECT_FALSE(seen[s]) << "slot " << s << " hit twice";
+    seen[s] = true;
+    EXPECT_EQ(p.entry_of(s), idx);
+  }
+}
+
+TEST(SoaPlanes, SublatticeRowsAreContiguous) {
+  // The point of the layout: walking +x within one sublattice advances the
+  // plane slot by exactly 1, so neighbor loads across a 4-atom SIMD group
+  // are unit-stride.
+  LocalBox box;
+  box.lx = 5;
+  box.ly = 4;
+  box.lz = 3;
+  box.halo = 2;
+  SoaPlanes p;
+  p.reset(box);
+  for (int sub = 0; sub <= 1; ++sub) {
+    const std::size_t s0 = p.slot(box.entry_index({0, 1, 1, sub}));
+    for (int x = 1; x < box.lx; ++x) {
+      EXPECT_EQ(p.slot(box.entry_index({x, 1, 1, sub})),
+                s0 + static_cast<std::size_t>(x));
+    }
+  }
+  // And the two sublattices are fully deinterleaved: sub 1 lives in the
+  // second half of each plane.
+  EXPECT_EQ(p.slot(0), 0u);
+  EXPECT_EQ(p.slot(1), p.cells());
+}
+
+/// Pack/unpack round-trip on a thermalized box containing all entry kinds:
+/// owned atoms, ghost copies, vacancy tombstones from detached run-aways,
+/// and unset ghost slots.
+TEST(SoaPlanes, RoundTripWithGhostsAndRunaways) {
+  md::MdConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  cfg.temperature = 500.0;
+  cfg.table_segments = 500;
+  const md::MdSetup setup(cfg, 1);
+  const auto tables = pot::EamTableSet::build(
+      pot::EamModel::iron(cfg.lattice_constant, cfg.cutoff), cfg.table_segments);
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+    engine.initialize(comm);
+    engine.run(comm, 3);
+    auto& lnl = engine.lattice();
+    // Force a run-away: its lattice entry becomes a vacancy tombstone.
+    const std::size_t det = lnl.box().entry_index({3, 3, 3, 0});
+    lnl.entry(det).r += util::Vec3{0.5, 0.3, 0.1};
+    lnl.detach(det);
+    GhostExchange ghosts(lnl, setup.dd, comm.rank());
+    ghosts.exchange(comm);
+    ASSERT_TRUE(lnl.entry(det).is_vacancy());
+
+    SoaPlanes p;
+    p.reset(lnl.box());
+    p.pack_positions(lnl);
+
+    std::size_t atoms = 0, nonatoms = 0;
+    for (std::size_t i = 0; i < lnl.size(); ++i) {
+      const AtomEntry& e = lnl.entry(i);
+      const util::Vec3 r = p.position(i);
+      EXPECT_EQ(r.x, e.r.x);
+      EXPECT_EQ(r.y, e.r.y);
+      EXPECT_EQ(r.z, e.r.z);
+      if (e.is_atom()) {
+        ++atoms;
+        EXPECT_EQ(p.packed_id(i), static_cast<double>(e.id));
+      } else {
+        ++nonatoms;  // vacancy tombstone or unset ghost
+        EXPECT_LT(p.packed_id(i), 0.0);
+      }
+    }
+    EXPECT_GT(atoms, 0u);
+    EXPECT_GT(nonatoms, 0u);  // the detached entry at least
+  });
+}
+
+TEST(SoaPlanes, ResetResizesForNewBox) {
+  SoaPlanes p;
+  LocalBox small;
+  small.lx = small.ly = small.lz = 2;
+  small.halo = 1;
+  p.reset(small);
+  EXPECT_EQ(p.size(), small.num_entries());
+  LocalBox big;
+  big.lx = big.ly = big.lz = 6;
+  big.halo = 2;
+  p.reset(big);
+  EXPECT_EQ(p.size(), big.num_entries());
+  EXPECT_EQ(p.cells(), big.num_cells());
+}
+
+}  // namespace
+}  // namespace mmd::lat

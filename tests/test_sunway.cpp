@@ -64,6 +64,46 @@ TEST(LocalStore, TypedAllocationAlignment) {
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
 }
 
+TEST(LocalStore, OverAlignedAllocationFromOddOffset) {
+  // Regression: allocate() used to align the bump-pointer OFFSET instead of
+  // the returned pointer, so over-aligned requests (align > the base
+  // address's own alignment, typically 16) came back misaligned whenever the
+  // vector's base was not itself 32/64-byte aligned. Several stores of
+  // varied capacity shake the heap so at least some bases are not 64-aligned.
+  for (std::size_t cap : {4096u, 4097u, 5000u, 8192u, 16384u}) {
+    LocalStore s(cap);
+    for (std::size_t align : {32u, 64u}) {
+      ASSERT_NE(s.allocate(1, 1), nullptr);  // odd starting offset
+      void* p = s.allocate(256, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "capacity " << cap << " align " << align;
+    }
+    double* arr = s.allocate_array<double>(16, 64);
+    ASSERT_NE(arr, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr) % 64, 0u);
+  }
+}
+
+TEST(LocalStore, FitsAgreesWithAllocate) {
+  // fits() must share allocate()'s rounding math exactly: probing then
+  // allocating the same (bytes, align) request must agree, for every
+  // alignment and for sizes straddling the capacity edge.
+  LocalStore s(2048);
+  ASSERT_NE(s.allocate(3, 1), nullptr);  // start misaligned
+  for (std::size_t align : {1u, 8u, 16u, 32u, 64u}) {
+    for (std::size_t bytes : {1u, 7u, 64u, 500u, 1000u, 2048u, 4096u}) {
+      const bool predicted = s.fits(bytes, align);
+      void* p = s.allocate(bytes, align);
+      EXPECT_EQ(predicted, p != nullptr)
+          << "bytes " << bytes << " align " << align << " used " << s.used();
+      if (p != nullptr) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+      }
+    }
+  }
+}
+
 TEST(Dma, CountsOpsAndBytes) {
   DmaEngine dma;
   std::vector<double> main_mem(64, 1.5);
