@@ -16,6 +16,7 @@
 #include "harness.h"
 #include "md/engine.h"
 #include "md/slave_force.h"
+#include "telemetry/session.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -93,6 +94,49 @@ int main() {
                   static_cast<double>(dma.get_bytes) / reps / 1e6);
     }
   });
+
+  // Recorder overhead: the same fused step under a telemetry session with
+  // the comm flight recorder off vs on. The ratio is the observability tax
+  // per step; perf-smoke gates it at <= 3% against a hand-written unity
+  // baseline (bench/baselines/BENCH_md_step_traced_gate.json), so recording
+  // can never silently become expensive enough to perturb what it measures.
+  struct Traced {
+    const char* key;
+    std::size_t ring;
+  };
+  constexpr std::array<Traced, 2> kTraced = {
+      {{"fused_session", 0}, {"fused_traced", std::size_t{1} << 16}}};
+  std::array<double, 2> traced_median{};
+  for (std::size_t i = 0; i < kTraced.size(); ++i) {
+    telemetry::Session::Options opt;
+    opt.comm_events_per_rank = kTraced[i].ring;
+    telemetry::Session session(1, opt);
+    comm::World traced_world(1);
+    std::vector<double> wall_ms;
+    wall_ms.reserve(static_cast<std::size_t>(reps));
+    traced_world.run([&](comm::Comm& comm) {
+      md::MdEngine engine(cfg, setup.geo, setup.dd, tables, comm.rank());
+      sw::SlaveCorePool pool(64);
+      md::SlaveForceCompute kernel(tables, pool,
+                                   md::AccelStrategy::CompactedReuse);
+      engine.use_slave_kernel(&kernel);
+      engine.initialize(comm);
+      engine.run(comm, warm);
+      for (int r = 0; r < reps; ++r) {
+        util::Timer t;
+        engine.run(comm, 1);
+        wall_ms.push_back(1e3 * t.elapsed());
+      }
+    });
+    h.add_samples(std::string(kTraced[i].key) + "_step_ms", "ms", wall_ms);
+    traced_median[i] = util::median(wall_ms);
+    bench::note("%-13s median %.3f ms/step%s", kTraced[i].key,
+                traced_median[i],
+                kTraced[i].ring != 0 ? " (flight recorder on)" : "");
+  }
+  h.add_value("traced_overhead_ratio", "x", traced_median[1] / traced_median[0]);
+  bench::note("recorder overhead: %.2f%%",
+              100.0 * (traced_median[1] / traced_median[0] - 1.0));
 
   return h.write();
 }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/comm_recorder.h"
 #include "telemetry/session.h"
 
 namespace mmd::comm {
@@ -57,12 +58,15 @@ void World::run(const std::function<void(Comm&)>& fn) {
   // job's world records into that job's thread-scoped session instead of
   // racing on the shared slots of whichever session installed first.
   telemetry::Session* session = telemetry::Session::current();
+  telemetry::CommRecorder* recorder =
+      session != nullptr ? session->comm_recorder() : nullptr;
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
       telemetry::Session::ThreadScope telemetry_scope(session);
       const RankTraffic before = traffic_[static_cast<std::size_t>(r)];
       if (session != nullptr) session->tracer().attach_calling_thread(r);
       Comm comm(*this, r);
+      comm.rec_ = recorder;
       try {
         fn(comm);
       } catch (...) {
@@ -70,6 +74,11 @@ void World::run(const std::function<void(Comm&)>& fn) {
       }
       if (session != nullptr) {
         fold_traffic(*session, r, before, traffic_[static_cast<std::size_t>(r)]);
+        if (recorder != nullptr && r < recorder->nranks()) {
+          session->metrics().set_gauge(
+              r, "telemetry.trace.dropped",
+              static_cast<double>(recorder->rank_log(r).dropped()));
+        }
         telemetry::Tracer::detach_calling_thread();
       }
     });
@@ -276,24 +285,59 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   auto& t = my_traffic();
   ++t.p2p_msgs_sent;
   t.p2p_bytes_sent += data.size();
-  world_->deliver(dst, std::move(m));
+  if (rec_ != nullptr) {
+    telemetry::CommEvent ev;
+    ev.t0_ns = rec_->now_ns();
+    ev.bytes = data.size();
+    ev.peer = dst;
+    ev.tag = tag;
+    ev.op = telemetry::CommOp::kSend;
+    world_->deliver(dst, std::move(m));
+    ev.t1_ns = rec_->now_ns();
+    rec_->record(rank_, ev);
+  } else {
+    world_->deliver(dst, std::move(m));
+  }
 }
 
 Request Comm::isend_bytes(int dst, int tag, std::span<const std::byte> data) {
   send_bytes(dst, tag, data);
   auto state = std::make_shared<RequestState>();
-  state->done = true;  // buffered: delivery already happened
+  state->done = true;     // buffered: delivery already happened
+  state->is_send = true;  // wait paths must not record it as a receive
   return Request(std::move(state));
 }
 
 Request Comm::irecv(int src, int tag) {
-  return world_->post_irecv(rank_, src, tag);
+  Request r = world_->post_irecv(rank_, src, tag);
+  if (rec_ != nullptr) {
+    telemetry::CommEvent ev;
+    ev.t0_ns = rec_->now_ns();
+    ev.t1_ns = ev.t0_ns;
+    ev.peer = src;
+    ev.tag = tag;
+    ev.op = telemetry::CommOp::kIrecvPost;
+    rec_->record(rank_, ev);
+  }
+  return r;
 }
 
 Message Comm::wait(Request& r) {
+  const bool record = rec_ != nullptr && r.state_ != nullptr && !r.state_->is_send;
+  const std::uint64_t r0 = record ? rec_->now_ns() : 0;
   const std::uint64_t t0 = now_ns();
   Message m = world_->request_wait(rank_, r);
   my_traffic().wait_ns += now_ns() - t0;
+  if (record) {
+    telemetry::CommEvent ev;
+    ev.t0_ns = r0;
+    ev.t1_ns = rec_->now_ns();
+    ev.bytes = m.payload.size();
+    ev.peer = m.src;
+    ev.tag = m.tag;
+    ev.op = telemetry::CommOp::kWait;
+    rec_->record(rank_, ev);
+  }
   return m;
 }
 
@@ -303,19 +347,61 @@ std::vector<Message> Comm::wait_all(std::span<Request> rs) {
   const std::uint64_t t0 = now_ns();
   std::vector<Message> out;
   out.reserve(rs.size());
-  for (Request& r : rs) out.push_back(world_->request_wait(rank_, r));
+  for (Request& r : rs) {
+    const bool record =
+        rec_ != nullptr && r.state_ != nullptr && !r.state_->is_send;
+    const std::uint64_t r0 = record ? rec_->now_ns() : 0;
+    out.push_back(world_->request_wait(rank_, r));
+    if (record) {
+      const Message& m = out.back();
+      telemetry::CommEvent ev;
+      ev.t0_ns = r0;
+      ev.t1_ns = rec_->now_ns();
+      ev.bytes = m.payload.size();
+      ev.peer = m.src;
+      ev.tag = m.tag;
+      ev.op = telemetry::CommOp::kWait;
+      rec_->record(rank_, ev);
+    }
+  }
   my_traffic().wait_ns += now_ns() - t0;
   return out;
 }
 
 std::size_t Comm::wait_any(std::span<Request> rs) {
+  const std::uint64_t r0 = rec_ != nullptr ? rec_->now_ns() : 0;
   const std::uint64_t t0 = now_ns();
   const std::size_t i = world_->request_wait_any(rank_, rs);
   my_traffic().wait_ns += now_ns() - t0;
+  // Once wait_any marked the request consumed, its state is exclusively ours
+  // to read until the caller's take_message().
+  const RequestState& st = *rs[i].state_;
+  if (rec_ != nullptr && !st.is_send) {
+    telemetry::CommEvent ev;
+    ev.t0_ns = r0;
+    ev.t1_ns = rec_->now_ns();
+    ev.bytes = st.msg.payload.size();
+    ev.peer = st.msg.src;
+    ev.tag = st.msg.tag;
+    ev.op = telemetry::CommOp::kWait;
+    rec_->record(rank_, ev);
+  }
   return i;
 }
 
-Message Comm::recv(int src, int tag) { return world_->receive(rank_, src, tag); }
+Message Comm::recv(int src, int tag) {
+  if (rec_ == nullptr) return world_->receive(rank_, src, tag);
+  telemetry::CommEvent ev;
+  ev.t0_ns = rec_->now_ns();
+  Message m = world_->receive(rank_, src, tag);
+  ev.t1_ns = rec_->now_ns();
+  ev.bytes = m.payload.size();
+  ev.peer = m.src;
+  ev.tag = m.tag;
+  ev.op = telemetry::CommOp::kRecv;
+  rec_->record(rank_, ev);
+  return m;
+}
 
 ProbeInfo Comm::probe(int src, int tag) {
   return world_->probe_blocking(rank_, src, tag);
@@ -325,34 +411,77 @@ std::optional<ProbeInfo> Comm::iprobe(int src, int tag) {
   return world_->probe_nonblocking(rank_, src, tag);
 }
 
+namespace {
+
+/// Wrap one collective call with flight-recorder accounting. `bytes` is the
+/// reduced payload per rank (8 for the scalar allreduces, 0 for barriers).
+template <typename Fn>
+auto record_collective(telemetry::CommRecorder* rec, int rank,
+                       std::uint64_t bytes, Fn&& fn) {
+  if (rec == nullptr) return fn();
+  telemetry::CommEvent ev;
+  ev.t0_ns = rec->now_ns();
+  auto out = fn();
+  ev.t1_ns = rec->now_ns();
+  ev.bytes = bytes;
+  ev.op = telemetry::CommOp::kCollective;
+  rec->record(rank, ev);
+  return out;
+}
+
+}  // namespace
+
 void Comm::barrier() {
   ++my_traffic().collectives;
-  world_->barrier();
+  record_collective(rec_, rank_, 0, [&] {
+    world_->barrier();
+    return 0;
+  });
 }
 
 double Comm::allreduce_sum(double x) {
   ++my_traffic().collectives;
-  return world_->allreduce_sum(x);
+  return record_collective(rec_, rank_, sizeof(double),
+                           [&] { return world_->allreduce_sum(x); });
 }
 
 double Comm::allreduce_max(double x) {
   ++my_traffic().collectives;
-  return world_->allreduce_max(x);
+  return record_collective(rec_, rank_, sizeof(double),
+                           [&] { return world_->allreduce_max(x); });
 }
 
 std::uint64_t Comm::allreduce_sum_u64(std::uint64_t x) {
   ++my_traffic().collectives;
-  return world_->allreduce_sum_u64(x);
+  return record_collective(rec_, rank_, sizeof(std::uint64_t),
+                           [&] { return world_->allreduce_sum_u64(x); });
 }
 
 std::uint64_t Comm::allreduce_max_u64(std::uint64_t x) {
   ++my_traffic().collectives;
-  return world_->allreduce_max_u64(x);
+  return record_collective(rec_, rank_, sizeof(std::uint64_t),
+                           [&] { return world_->allreduce_max_u64(x); });
 }
 
 std::shared_ptr<PutWindow> Comm::create_window() {
   ++my_traffic().collectives;
-  return world_->create_window();
+  return record_collective(rec_, rank_, 0,
+                           [&] { return world_->create_window(); });
+}
+
+void Comm::note_put(int target, std::size_t bytes) {
+  auto& t = my_traffic();
+  ++t.onesided_puts;
+  t.onesided_bytes += bytes;
+  if (rec_ != nullptr) {
+    telemetry::CommEvent ev;
+    ev.t0_ns = rec_->now_ns();
+    ev.t1_ns = ev.t0_ns;
+    ev.bytes = bytes;
+    ev.peer = target;
+    ev.op = telemetry::CommOp::kPut;
+    rec_->record(rank_, ev);
+  }
 }
 
 }  // namespace mmd::comm

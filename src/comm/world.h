@@ -13,6 +13,10 @@
 
 #include "comm/message.h"
 
+namespace mmd::telemetry {
+class CommRecorder;
+}  // namespace mmd::telemetry
+
 namespace mmd::comm {
 
 class Comm;
@@ -52,6 +56,7 @@ struct RequestState {
   int tag = kAnyTag;      ///< match filter (receives only)
   bool done = false;      ///< message arrived, or send was buffered
   bool consumed = false;  ///< result already handed to the caller
+  bool is_send = false;   ///< born-complete send; wait paths skip recording
   Message msg;            ///< the matched message (receives only)
 };
 
@@ -311,9 +316,7 @@ class Comm {
   void put(PutWindow& win, int target, std::span<const T> items) {
     auto bytes = std::as_bytes(items);
     win.append(target, bytes);
-    auto& t = my_traffic();
-    ++t.onesided_puts;
-    t.onesided_bytes += bytes.size();
+    note_put(target, bytes.size());
   }
 
   /// Drain this rank's one-sided inbox (valid after a fence/barrier).
@@ -327,8 +330,17 @@ class Comm {
   }
 
  private:
+  friend class World;
+
+  /// Traffic + flight-recorder accounting for put() (non-template so the
+  /// header never needs the complete CommRecorder type).
+  void note_put(int target, std::size_t bytes);
+
   World* world_;
   int rank_;
+  /// The current session's comm flight recorder, set by World::run; nullptr
+  /// (every instrumentation point a cheap branch) when recording is off.
+  telemetry::CommRecorder* rec_ = nullptr;
 };
 
 }  // namespace mmd::comm

@@ -52,6 +52,7 @@ SimulationConfig scenario_from_kv(const util::KeyValueConfig& kv) {
   cfg.checkpoint_dir = kv.get_string("checkpoint.dir", "");
   cfg.checkpoint_every =
       static_cast<int>(kv.get_int("checkpoint.every", 0));
+  cfg.comm_trace = kv.get_string("comm.trace", "");
   return cfg;
 }
 
@@ -73,7 +74,8 @@ std::string scenario_defaults_text() {
       "accel         = reference  # reference | slave (slave-core force kernel)\n"
       "md.simd       = auto     # auto | off (AVX2 kernels in the slave force path)\n"
       "checkpoint.dir   =       # optional: directory for per-rank checkpoints\n"
-      "checkpoint.every = 0     # KMC cycles between epochs (0 = off)\n";
+      "checkpoint.every = 0     # KMC cycles between epochs (0 = off)\n"
+      "comm.trace    =          # optional: comm flight-recorder trace file\n";
 }
 
 }  // namespace mmd::core

@@ -19,7 +19,9 @@ kmc::GhostStrategy parse_ghost_strategy(const std::string& s);
 ///   pka.count, pka.energy_ev,
 ///   kmc.cycles, kmc.strategy, kmc.dt_scale, kmc.table_segments,
 ///   solute, accel (reference | slave), md.simd (auto | off),
-///   checkpoint.dir, checkpoint.every
+///   checkpoint.dir, checkpoint.every,
+///   comm.trace (comm flight-recorder output file; campaigns write it
+///   under the job's directory)
 ///
 /// Every key consumed is marked known on `kv`, so callers can follow up with
 /// kv.reject_unknown_keys() after reading their own driver-level keys (xyz,

@@ -53,6 +53,13 @@ struct SimulationConfig {
   /// Test hook: injects write faults into the checkpoint store (not owned).
   io::FaultInjector* fault_injector = nullptr;
 
+  // --- observability ---
+  /// Comm flight-recorder trace output (scenario key `comm.trace`). Empty
+  /// disables recording. The DRIVER owns this: it sizes the session's
+  /// recorder and writes the trace file after the run (mmd_run writes the
+  /// path as given; campaigns write it under the job's directory).
+  std::string comm_trace;
+
   // --- execution backend ---
   /// Compute MD forces on the simulated slave-core pipeline instead of the
   /// reference master-core path (identical physics; see md::SlaveForceCompute).

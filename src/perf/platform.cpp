@@ -1,0 +1,249 @@
+#include "perf/platform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mmd::perf {
+
+namespace {
+
+constexpr std::uint64_t kNoCap = std::numeric_limits<std::uint64_t>::max();
+
+/// Ordinary least squares of seconds = o + G*bytes; returns false when the
+/// sample set cannot support a 2-parameter fit (too few points or no size
+/// spread). Coefficients are clamped nonnegative: a negative o or G is
+/// measurement noise, and extrapolating it to paper scale would produce
+/// negative message costs.
+bool least_squares(std::span<const MsgSample> samples, double* o, double* g) {
+  if (samples.size() < 4) return false;
+  double n = 0.0, sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (const MsgSample& s : samples) {
+    const double x = static_cast<double>(s.bytes);
+    n += 1.0;
+    sx += x;
+    sy += s.seconds;
+    sxx += x * x;
+    sxy += x * s.seconds;
+  }
+  const double det = n * sxx - sx * sx;
+  if (det <= 0.0 || !(std::abs(det) > n * 1e-9)) return false;
+  const double slope = (n * sxy - sx * sy) / det;
+  const double intercept = (sy - slope * sx) / n;
+  *g = std::max(0.0, slope);
+  *o = std::max(0.0, intercept);
+  return *o > 0.0 || *g > 0.0;
+}
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+LogGpModel::LogGpModel()
+    : segments_({Segment{kNoCap, 1.0e-6, 0.25e-9}}) {}
+
+LogGpModel::LogGpModel(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    segments_ = LogGpModel().segments_;
+  }
+  segments_.back().max_bytes = kNoCap;
+}
+
+double LogGpModel::message_time(std::uint64_t bytes) const {
+  for (const Segment& s : segments_) {
+    if (bytes <= s.max_bytes) {
+      return s.overhead_s + s.per_byte_s * static_cast<double>(bytes);
+    }
+  }
+  const Segment& s = segments_.back();
+  return s.overhead_s + s.per_byte_s * static_cast<double>(bytes);
+}
+
+LogGpModel LogGpModel::fit(std::span<const MsgSample> samples,
+                           std::span<const std::uint64_t> breakpoints) {
+  if (samples.empty()) return LogGpModel();
+
+  double global_o = 0.0, global_g = 0.0;
+  if (!least_squares(samples, &global_o, &global_g)) {
+    // Not enough spread for a slope: the mean cost becomes a pure overhead.
+    double sum = 0.0;
+    for (const MsgSample& s : samples) sum += s.seconds;
+    global_o = sum / static_cast<double>(samples.size());
+    global_g = 0.0;
+  }
+
+  std::vector<Segment> segments;
+  std::uint64_t lo = 0;
+  for (std::size_t i = 0; i <= breakpoints.size(); ++i) {
+    const std::uint64_t hi = i < breakpoints.size() ? breakpoints[i] : kNoCap;
+    if (hi <= lo && hi != kNoCap) continue;  // ignore unsorted/duplicate bounds
+    // Segment i covers (lo, hi]; the first also includes zero-byte messages.
+    std::vector<MsgSample> in_segment;
+    for (const MsgSample& s : samples) {
+      if ((lo == 0 || s.bytes > lo) && s.bytes <= hi) in_segment.push_back(s);
+    }
+    double o = global_o, g = global_g;
+    least_squares(in_segment, &o, &g);  // keep global fit on failure
+    segments.push_back(Segment{hi, o, g});
+    lo = hi;
+  }
+  return LogGpModel(std::move(segments));
+}
+
+TopologyPlatform::TopologyPlatform(PlatformConfig cfg, std::uint64_t nranks)
+    : cfg_(std::move(cfg)), nranks_(nranks) {
+  if (cfg_.ranks_per_node <= 0 || cfg_.nodes_per_supernode <= 0 ||
+      cfg_.uplinks_per_supernode <= 0) {
+    throw std::invalid_argument("TopologyPlatform: nonpositive config");
+  }
+  const auto rpn = static_cast<std::uint64_t>(cfg_.ranks_per_node);
+  const auto nps = static_cast<std::uint64_t>(cfg_.nodes_per_supernode);
+  nnodes_ = (nranks_ + rpn - 1) / rpn;
+  nsupernodes_ = (nnodes_ + nps - 1) / nps;
+  intra_bytes_.assign(nnodes_, 0);
+  node_up_bytes_.assign(nnodes_, 0);
+  node_down_bytes_.assign(nnodes_, 0);
+  sn_up_bytes_.assign(nsupernodes_, 0);
+  sn_down_bytes_.assign(nsupernodes_, 0);
+  host_s_.assign(nranks_, 0.0);
+  private_s_.assign(nranks_, 0.0);
+}
+
+void TopologyPlatform::reset() {
+  std::fill(intra_bytes_.begin(), intra_bytes_.end(), 0);
+  std::fill(node_up_bytes_.begin(), node_up_bytes_.end(), 0);
+  std::fill(node_down_bytes_.begin(), node_down_bytes_.end(), 0);
+  std::fill(sn_up_bytes_.begin(), sn_up_bytes_.end(), 0);
+  std::fill(sn_down_bytes_.begin(), sn_down_bytes_.end(), 0);
+  std::fill(host_s_.begin(), host_s_.end(), 0.0);
+  std::fill(private_s_.begin(), private_s_.end(), 0.0);
+  max_latency_s_ = 0.0;
+}
+
+void TopologyPlatform::add_message(std::uint64_t src, std::uint64_t dst,
+                                   std::uint64_t bytes,
+                                   const LogGpModel& host) {
+  if (src >= nranks_ || dst >= nranks_) return;
+  const double o = host.message_time(bytes);
+  host_s_[src] += o;
+  host_s_[dst] += o;
+
+  const std::uint64_t src_node = node_of(src);
+  const std::uint64_t dst_node = node_of(dst);
+  double wire_latency = 0.0;
+  double private_bw = cfg_.intra_node.bandwidth_bps;
+  if (src_node == dst_node) {
+    intra_bytes_[src_node] += bytes;
+    wire_latency = cfg_.intra_node.latency_s;
+  } else {
+    node_up_bytes_[src_node] += bytes;
+    node_down_bytes_[dst_node] += bytes;
+    const std::uint64_t src_sn = supernode_of(src);
+    const std::uint64_t dst_sn = supernode_of(dst);
+    if (src_sn == dst_sn) {
+      wire_latency = cfg_.node_link.latency_s;
+      private_bw = cfg_.node_link.bandwidth_bps;
+    } else {
+      sn_up_bytes_[src_sn] += bytes;
+      sn_down_bytes_[dst_sn] += bytes;
+      wire_latency = cfg_.uplink.latency_s;
+      private_bw = std::min(cfg_.node_link.bandwidth_bps,
+                            cfg_.uplink.bandwidth_bps);
+    }
+  }
+  max_latency_s_ = std::max(max_latency_s_, wire_latency);
+  private_s_[src] +=
+      o + wire_latency + static_cast<double>(bytes) / private_bw;
+}
+
+TopologyPlatform::RoundCost TopologyPlatform::round_cost() const {
+  RoundCost rc;
+  rc.latency_s = max_latency_s_;
+  for (double h : host_s_) rc.host_s = std::max(rc.host_s, h);
+
+  double worst = 0.0;
+  const char* worst_name = "intra_node";
+  const auto consider = [&](std::uint64_t bytes, double bandwidth,
+                            const char* name) {
+    const double t = static_cast<double>(bytes) / bandwidth;
+    if (t > worst) {
+      worst = t;
+      worst_name = name;
+    }
+  };
+  for (std::uint64_t b : intra_bytes_) {
+    consider(b, cfg_.intra_node.bandwidth_bps, "intra_node");
+  }
+  for (std::uint64_t b : node_up_bytes_) {
+    consider(b, cfg_.node_link.bandwidth_bps, "node_link");
+  }
+  for (std::uint64_t b : node_down_bytes_) {
+    consider(b, cfg_.node_link.bandwidth_bps, "node_link");
+  }
+  const double trunk_bw = cfg_.uplink.bandwidth_bps *
+                          static_cast<double>(cfg_.uplinks_per_supernode);
+  for (std::uint64_t b : sn_up_bytes_) {
+    consider(b, trunk_bw, "supernode_uplink");
+  }
+  for (std::uint64_t b : sn_down_bytes_) {
+    consider(b, trunk_bw, "supernode_uplink");
+  }
+  rc.link_s = worst;
+  rc.bottleneck = worst_name;
+  rc.total_s = rc.link_s + rc.host_s + rc.latency_s;
+  return rc;
+}
+
+TopologyPlatform::RoundCost TopologyPlatform::round_cost_no_contention() const {
+  RoundCost rc;
+  rc.bottleneck = "none";
+  for (double p : private_s_) rc.total_s = std::max(rc.total_s, p);
+  rc.link_s = rc.total_s;  // undifferentiated in the private-link bound
+  return rc;
+}
+
+double TopologyPlatform::collective_time() const {
+  const auto rpn = static_cast<std::uint64_t>(cfg_.ranks_per_node);
+  const std::uint64_t ranks_on_node = std::min(nranks_, rpn);
+  const std::uint64_t nodes_in_sn =
+      std::min(nnodes_, static_cast<std::uint64_t>(cfg_.nodes_per_supernode));
+  const double up_down = 2.0;
+  return up_down *
+         (static_cast<double>(ceil_log2(ranks_on_node)) *
+              cfg_.intra_node.latency_s +
+          static_cast<double>(ceil_log2(nodes_in_sn)) * cfg_.node_link.latency_s +
+          static_cast<double>(ceil_log2(nsupernodes_)) * cfg_.uplink.latency_s);
+}
+
+Grid3 near_cubic_grid(std::uint64_t n) {
+  Grid3 best{n, 1, 1};
+  double best_surface = std::numeric_limits<double>::max();
+  for (std::uint64_t z = 1; z * z * z <= n; ++z) {
+    if (n % z != 0) continue;
+    const std::uint64_t nz = n / z;
+    for (std::uint64_t y = z; y * y <= nz; ++y) {
+      if (nz % y != 0) continue;
+      const std::uint64_t x = nz / y;
+      const double surface = 2.0 * (static_cast<double>(x * y) +
+                                    static_cast<double>(y * z) +
+                                    static_cast<double>(x * z));
+      if (surface < best_surface) {
+        best_surface = surface;
+        best = Grid3{x, y, z};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mmd::perf

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/platform.h"
+
+namespace mmd::telemetry {
+struct CommTraceData;
+}  // namespace mmd::telemetry
+
+namespace mmd::perf {
+
+/// Per-rank-per-step traffic shape distilled from a recorded comm trace:
+/// the quantities the projection replays onto the platform graph.
+struct TraceStats {
+  std::uint64_t nranks = 0;
+  std::uint64_t steps = 1;          ///< from trace meta ("steps"), min 1
+  std::uint64_t events = 0;         ///< stored events
+  std::uint64_t dropped = 0;
+  double atoms_per_rank = 0.0;      ///< from meta ("atoms"), 0 if absent
+  double sends_per_rank_step = 0.0;
+  double bytes_per_rank_step = 0.0;       ///< p2p payload bytes
+  double collectives_per_rank_step = 0.0;
+  double peers_per_rank = 0.0;      ///< mean distinct kSend destinations
+  double wall_s = 0.0;              ///< max rank span (last t1 - first t0)
+  double comm_s_per_step = 0.0;     ///< mean recorded op time per rank-step
+  double compute_s_per_step = 0.0;  ///< (wall - comm) / steps, floored at 0
+  std::vector<MsgSample> send_samples;  ///< (bytes, duration) of kSend events
+};
+
+TraceStats summarize_trace(const telemetry::CommTraceData& trace);
+
+/// One projected point of a scaling curve.
+struct ProjectionPoint {
+  std::uint64_t cores = 0;   ///< paper accounting: 65 per rank (MPE + CPEs)
+  std::uint64_t ranks = 0;
+  std::uint64_t nodes = 0;
+  double comm_s = 0.0;       ///< modeled per-step communication time
+  double time_s = 0.0;       ///< compute + comm per step
+  double value = 0.0;        ///< weak: efficiency; strong: speedup
+  double paper_value = 0.0;  ///< the paper's reported number; 0 = beyond paper
+  std::string bottleneck;    ///< dominant link class at this point
+};
+
+struct ProjectionOptions {
+  PlatformConfig platform = PlatformConfig::taihulight();
+  bool contention = true;
+  /// Override the trace's step count (0: use meta).
+  std::uint64_t steps = 0;
+  /// Paper targets the compute calibration solves against (see
+  /// ScalingModel::calibrate_*_compute); the curve SHAPE between endpoints is
+  /// the model's prediction.
+  double weak_target_eff = 0.85;
+  double strong_target_speedup = 26.4;
+  /// Use the trace's own (wall - comm) compute time instead of calibrating
+  /// against the paper endpoint.
+  bool compute_from_trace = false;
+  /// LogGP segment boundaries for the host-cost fit.
+  std::vector<std::uint64_t> breakpoints = {256, 4096, 65536};
+};
+
+struct ProjectionResult {
+  TraceStats stats;
+  LogGpModel host_model;      ///< calibrated from the trace's send samples
+  ProjectionOptions options;
+  double weak_compute_s = 0.0;    ///< calibrated per-step compute (weak)
+  double strong_compute_s = 0.0;  ///< calibrated per-step compute (strong base)
+  std::vector<ProjectionPoint> weak;    ///< paper Fig. 12 rows + full machine
+  std::vector<ProjectionPoint> strong;  ///< paper Fig. 13 rows
+};
+
+/// Replay `trace` through the platform graph: lay every rank's six
+/// face-neighbor messages onto a near-cubic 3D rank grid with linear
+/// rank→node placement (so z-face neighbors cross node and supernode
+/// boundaries at scale), price each round with link contention, and solve
+/// the compute calibration so the endpoint matches the paper's reported
+/// number. Throws std::runtime_error on an unusable trace (no ranks).
+ProjectionResult project_scaling(const telemetry::CommTraceData& trace,
+                                 const ProjectionOptions& opt);
+
+/// Projection JSON, schema "mmd.trace_replay" version 1 (validated by the CI
+/// trace-replay smoke job; layout documented in docs/OBSERVABILITY.md).
+void write_projection_json(std::ostream& os, const ProjectionResult& result);
+bool write_projection_json_file(const std::string& path,
+                                const ProjectionResult& result);
+
+/// Human-readable curve tables (the mmd_trace_replay CLI's stdout).
+void print_projection(std::ostream& os, const ProjectionResult& result);
+
+}  // namespace mmd::perf

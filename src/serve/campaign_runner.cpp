@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/scenario.h"
+#include "telemetry/comm_trace.h"
 #include "util/crc32.h"
 #include "util/timer.h"
 
@@ -139,9 +140,13 @@ CampaignOutcome CampaignRunner::run() {
   queue.close();
 
   int max_nranks = 1;
+  bool wants_comm_trace = false;
   for (const ScenarioSpec& job : spec_.jobs) {
     max_nranks = std::max(
         max_nranks, static_cast<int>(job.config.get_int("ranks", 1)));
+    if (!job.config.get_string("comm.trace", "").empty()) {
+      wants_comm_trace = true;
+    }
   }
 
   const int lanes = static_cast<int>(
@@ -160,6 +165,9 @@ CampaignOutcome CampaignRunner::run() {
       o.lanes_per_rank = 1 + spec_.pool_cores;  // master lane + CPE span lanes
       o.events_per_track = 1 << 10;
       o.install_global = false;
+      // Any comm.trace job turns the lane's flight recorder on; the recorder
+      // is reset between jobs, so each trace file holds exactly one job.
+      if (wants_comm_trace) o.comm_events_per_rank = std::size_t{1} << 16;
       telemetry::Session session(max_nranks, o);
       for (;;) {
         if (stop_.load(std::memory_order_relaxed)) break;
@@ -234,6 +242,35 @@ void CampaignRunner::run_one_job(std::size_t spec_index, ScenarioSpec job,
       r.md_seconds = r.report.md_seconds;
       r.kmc_seconds = r.report.kmc_seconds;
       write_marker(marker, r);
+      if (!cfg.comm_trace.empty() && session.comm_recorder() != nullptr) {
+        // The job's trace lands under its directory regardless of the path
+        // the scenario gave (per-job isolation, like checkpoints).
+        const fs::path trace_path =
+            jobdir / fs::path(cfg.comm_trace).filename();
+        const auto counter = [&](const char* name) -> std::uint64_t {
+          const auto it = r.metrics.counters.find(name);
+          return it == r.metrics.counters.end() ? 0 : it->second;
+        };
+        const auto nranks_u =
+            static_cast<std::uint64_t>(std::max(1, cfg.nranks));
+        const std::uint64_t steps =
+            (counter("md.steps") + counter("kmc.cycles")) / nranks_u;
+        std::map<std::string, std::string> meta;
+        meta["scenario"] = job.id;
+        meta["ranks"] = std::to_string(cfg.nranks);
+        meta["box"] = std::to_string(cfg.md.nx);
+        meta["atoms"] = std::to_string(2 * cfg.md.nx * cfg.md.ny * cfg.md.nz);
+        meta["steps"] = std::to_string(steps > 0 ? steps : 1);
+        const auto trace = telemetry::trace_from_recorder(
+            *session.comm_recorder(), std::move(meta));
+        std::string err;
+        if (!telemetry::write_comm_trace_file(trace_path.string(), trace,
+                                              &err)) {
+          // A trace write failure must not fail a finished job.
+          std::fprintf(stderr, "campaign: %s\n", err.c_str());
+        }
+      }
+      if (session.comm_recorder() != nullptr) session.comm_recorder()->reset();
     } catch (const std::exception& e) {
       // One bad job must not take the fleet down: record the failure, leave
       // no marker (a resumed campaign retries it), and keep the lane
@@ -242,6 +279,7 @@ void CampaignRunner::run_one_job(std::size_t spec_index, ScenarioSpec job,
       r.error = e.what();
       r.wall_seconds = t.elapsed();
       (void)session.metrics().snapshot_and_reset();
+      if (session.comm_recorder() != nullptr) session.comm_recorder()->reset();
     }
   }
 

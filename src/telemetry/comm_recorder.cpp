@@ -1,0 +1,34 @@
+#include "telemetry/comm_recorder.h"
+
+namespace mmd::telemetry {
+
+CommRecorder::CommRecorder(int nranks, std::size_t events_per_rank,
+                           std::chrono::steady_clock::time_point epoch)
+    : capacity_(events_per_rank), epoch_(epoch),
+      logs_(static_cast<std::size_t>(nranks < 0 ? 0 : nranks)) {
+  for (RankLog& log : logs_) {
+    log.capacity = capacity_;
+    log.events.reserve(capacity_);
+  }
+}
+
+std::uint64_t CommRecorder::total_recorded() const {
+  std::uint64_t total = 0;
+  for (const RankLog& log : logs_) total += log.recorded;
+  return total;
+}
+
+std::uint64_t CommRecorder::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const RankLog& log : logs_) total += log.dropped();
+  return total;
+}
+
+void CommRecorder::reset() {
+  for (RankLog& log : logs_) {
+    log.events.clear();
+    log.recorded = 0;
+  }
+}
+
+}  // namespace mmd::telemetry

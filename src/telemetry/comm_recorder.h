@@ -1,0 +1,97 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmd::telemetry {
+
+/// What a recorded communication event was. Values are part of the trace
+/// file format (comm_trace.h) — append only, never renumber.
+enum class CommOp : std::uint8_t {
+  kSend = 0,       ///< blocking or buffered-nonblocking send (outbound)
+  kRecv = 1,       ///< blocking receive returned (inbound)
+  kIrecvPost = 2,  ///< nonblocking receive posted (no data yet)
+  kWait = 3,       ///< wait/wait_all/wait_any completed a posted receive
+  kPut = 4,        ///< one-sided put into a remote window (outbound)
+  kCollective = 5, ///< barrier / allreduce / window creation
+};
+
+inline constexpr std::uint8_t kCommOpCount = 6;
+
+/// One per-message flight-recorder event: timestamps share the owning
+/// session's tracer epoch so comm events line up with phase spans in the
+/// Chrome trace. 40 bytes, trivially copyable — the ring push is two stores
+/// and a bump.
+struct CommEvent {
+  std::uint64_t t0_ns = 0;  ///< op start (ns since tracer epoch)
+  std::uint64_t t1_ns = 0;  ///< op completion (== t0_ns for instant ops)
+  std::uint64_t bytes = 0;  ///< payload size (0 for barrier/posts)
+  std::int32_t peer = -1;   ///< dst for kSend/kPut, src for kRecv/kWait; -1 wildcard/collective
+  std::int32_t tag = -1;    ///< message tag; -1 for collectives
+  CommOp op = CommOp::kSend;
+};
+
+/// Per-rank comm flight recorder.
+///
+/// Same single-writer discipline as Tracer / comm::RankTraffic: a rank's log
+/// is only ever appended by the thread running that rank inside World::run,
+/// so recording takes no locks and no atomics. Unlike the span tracer's
+/// wrapping rings, a full log DROPS NEW events and counts them — a trace
+/// used for replay needs a contiguous prefix, not the most recent suffix.
+/// Readers (trace writers, exporters) run after the rank threads joined.
+class CommRecorder {
+ public:
+  struct RankLog {
+    std::vector<CommEvent> events;   ///< stored prefix, capacity fixed at construction
+    std::uint64_t recorded = 0;      ///< total record attempts (stored + dropped)
+    std::size_t capacity = 0;
+
+    std::uint64_t dropped() const {
+      return recorded > events.size() ? recorded - events.size() : 0;
+    }
+  };
+
+  CommRecorder(int nranks, std::size_t events_per_rank,
+               std::chrono::steady_clock::time_point epoch);
+
+  int nranks() const { return static_cast<int>(logs_.size()); }
+  std::size_t events_per_rank() const { return capacity_; }
+
+  /// Nanoseconds since the shared epoch (the session tracer's construction).
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Append onto `rank`'s log (owning rank thread only). Out-of-range ranks
+  /// are dropped silently, mirroring MetricsRegistry.
+  void record(int rank, const CommEvent& ev) {
+    if (rank < 0 || rank >= nranks()) return;
+    RankLog& log = logs_[static_cast<std::size_t>(rank)];
+    if (log.events.size() < log.capacity) log.events.push_back(ev);
+    ++log.recorded;
+  }
+
+  // --- read side (after writers joined) ---
+  const RankLog& rank_log(int rank) const {
+    return logs_[static_cast<std::size_t>(rank)];
+  }
+  std::uint64_t total_recorded() const;
+  std::uint64_t total_dropped() const;
+
+  /// Clear every log (keeps ring capacity). Campaign lanes call this between
+  /// jobs so one job's messages never leak into the next job's trace; same
+  /// read-side contract as the accessors — only after the writers joined.
+  void reset();
+
+ private:
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<RankLog> logs_;
+};
+
+}  // namespace mmd::telemetry

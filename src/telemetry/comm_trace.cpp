@@ -1,0 +1,179 @@
+#include "telemetry/comm_trace.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "io/byte_io.h"
+
+namespace mmd::telemetry {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'M', 'D', 'T'};
+
+void put_string(io::ByteWriter& w, std::string_view s) {
+  w.put_u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) w.put_u8(static_cast<std::uint8_t>(c));
+}
+
+std::string get_string(io::ByteReader& r) {
+  const std::uint32_t len = r.get_u32();
+  if (len > r.remaining()) {
+    throw std::runtime_error("comm trace: truncated string");
+  }
+  std::string s;
+  s.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(r.get_u8()));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t CommTraceData::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const RankEvents& r : ranks) {
+    const std::uint64_t stored = r.events.size();
+    if (r.recorded > stored) total += r.recorded - stored;
+  }
+  return total;
+}
+
+std::uint64_t CommTraceData::total_stored() const {
+  std::uint64_t total = 0;
+  for (const RankEvents& r : ranks) total += r.events.size();
+  return total;
+}
+
+std::uint64_t CommTraceData::meta_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+  auto it = meta.find(key);
+  if (it == meta.end() || it->second.empty()) return fallback;
+  std::uint64_t v = 0;
+  for (char c : it->second) {
+    if (c < '0' || c > '9') return fallback;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+CommTraceData trace_from_recorder(const CommRecorder& rec,
+                                  std::map<std::string, std::string> meta) {
+  CommTraceData trace;
+  trace.meta = std::move(meta);
+  trace.ranks.resize(static_cast<std::size_t>(rec.nranks()));
+  for (int r = 0; r < rec.nranks(); ++r) {
+    const CommRecorder::RankLog& log = rec.rank_log(r);
+    CommTraceData::RankEvents& out = trace.ranks[static_cast<std::size_t>(r)];
+    out.recorded = log.recorded;
+    out.events = log.events;
+  }
+  return trace;
+}
+
+std::string serialize_comm_trace(const CommTraceData& trace) {
+  io::ByteWriter w;
+  for (char c : kMagic) w.put_u8(static_cast<std::uint8_t>(c));
+  w.put_u32(trace.version);
+  w.put_u32(static_cast<std::uint32_t>(trace.ranks.size()));
+  w.put_u32(static_cast<std::uint32_t>(trace.meta.size()));
+  for (const auto& [key, value] : trace.meta) {
+    put_string(w, key);
+    put_string(w, value);
+  }
+  for (const CommTraceData::RankEvents& r : trace.ranks) {
+    w.put_u64(r.recorded);
+    w.put_u64(static_cast<std::uint64_t>(r.events.size()));
+    for (const CommEvent& ev : r.events) {
+      w.put_u64(ev.t0_ns);
+      w.put_u64(ev.t1_ns);
+      w.put_u64(ev.bytes);
+      w.put_i32(ev.peer);
+      w.put_i32(ev.tag);
+      w.put_u8(static_cast<std::uint8_t>(ev.op));
+    }
+  }
+  return w.take();
+}
+
+CommTraceData parse_comm_trace(std::string_view bytes) {
+  io::ByteReader r(bytes);
+  for (char c : kMagic) {
+    if (r.remaining() == 0 || static_cast<char>(r.get_u8()) != c) {
+      throw std::runtime_error("comm trace: bad magic (not an MMDT file)");
+    }
+  }
+  CommTraceData trace;
+  trace.version = r.get_u32();
+  if (trace.version != kCommTraceVersion) {
+    throw std::runtime_error("comm trace: unsupported version " +
+                             std::to_string(trace.version));
+  }
+  const std::uint32_t nranks = r.get_u32();
+  const std::uint32_t nmeta = r.get_u32();
+  for (std::uint32_t i = 0; i < nmeta; ++i) {
+    std::string key = get_string(r);
+    std::string value = get_string(r);
+    trace.meta.emplace(std::move(key), std::move(value));
+  }
+  trace.ranks.resize(nranks);
+  for (std::uint32_t rank = 0; rank < nranks; ++rank) {
+    CommTraceData::RankEvents& out = trace.ranks[rank];
+    out.recorded = r.get_u64();
+    const std::uint64_t stored = r.get_u64();
+    // 33 bytes per event; bound against the remaining payload before
+    // allocating so a corrupt count cannot drive a huge reserve.
+    if (stored > r.remaining() / 33) {
+      throw std::runtime_error("comm trace: truncated event block");
+    }
+    out.events.reserve(static_cast<std::size_t>(stored));
+    for (std::uint64_t i = 0; i < stored; ++i) {
+      CommEvent ev;
+      ev.t0_ns = r.get_u64();
+      ev.t1_ns = r.get_u64();
+      ev.bytes = r.get_u64();
+      ev.peer = r.get_i32();
+      ev.tag = r.get_i32();
+      const std::uint8_t op = r.get_u8();
+      if (op >= kCommOpCount) {
+        throw std::runtime_error("comm trace: unknown op " + std::to_string(op));
+      }
+      ev.op = static_cast<CommOp>(op);
+      out.events.push_back(ev);
+    }
+  }
+  return trace;
+}
+
+bool write_comm_trace_file(const std::string& path, const CommTraceData& trace,
+                           std::string* error) {
+  const std::string bytes = serialize_comm_trace(trace);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+CommTraceData read_comm_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("comm trace: cannot open " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return parse_comm_trace(bytes);
+}
+
+}  // namespace mmd::telemetry

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/comm_recorder.h"
+
+namespace mmd::telemetry {
+
+/// Schema-versioned binary container for comm flight-recorder traces
+/// (see docs/OBSERVABILITY.md "Comm trace format"). Layout, all
+/// little-endian via io::ByteWriter:
+///
+///   magic   "MMDT" (4 bytes)
+///   u32     version (kCommTraceVersion)
+///   u32     nranks
+///   u32     meta pair count, then per pair: u32 len + bytes (key),
+///           u32 len + bytes (value) — run parameters the replay needs
+///           (steps, atoms, ranks, box, scenario label, ...)
+///   per rank:
+///     u64   recorded  (total record attempts, >= stored; drop accounting)
+///     u64   stored    (events that follow)
+///     per event: u64 t0_ns, u64 t1_ns, u64 bytes, i32 peer, i32 tag, u8 op
+///
+/// Version bumps only for layout changes; new CommOp values append without a
+/// bump (readers reject out-of-range ops, so old readers fail loudly).
+inline constexpr std::uint32_t kCommTraceVersion = 1;
+
+/// In-memory form of a trace file: what the writer consumes and the parser
+/// returns. Round-trips bit-exactly through serialize/parse.
+struct CommTraceData {
+  struct RankEvents {
+    std::uint64_t recorded = 0;  ///< attempts; recorded - events.size() dropped
+    std::vector<CommEvent> events;
+  };
+
+  std::uint32_t version = kCommTraceVersion;
+  std::map<std::string, std::string> meta;
+  std::vector<RankEvents> ranks;
+
+  std::uint64_t total_dropped() const;
+  std::uint64_t total_stored() const;
+
+  /// meta[key] parsed as a nonnegative integer, or `fallback` when the key is
+  /// absent/malformed. The replay uses this for steps/atom counts.
+  std::uint64_t meta_u64(const std::string& key, std::uint64_t fallback) const;
+};
+
+/// Snapshot a recorder's logs (writers must have joined — same read-side
+/// contract as CommRecorder's accessors).
+CommTraceData trace_from_recorder(const CommRecorder& rec,
+                                  std::map<std::string, std::string> meta);
+
+/// Serialize to the binary format above.
+std::string serialize_comm_trace(const CommTraceData& trace);
+
+/// Parse a serialized trace. Throws std::runtime_error on bad magic,
+/// unsupported version, out-of-range op, or truncation.
+CommTraceData parse_comm_trace(std::string_view bytes);
+
+/// Write `trace` to `path`. Returns false (with the reason in *error when
+/// non-null) instead of throwing on I/O failure, mirroring FigureJson.
+bool write_comm_trace_file(const std::string& path, const CommTraceData& trace,
+                           std::string* error = nullptr);
+
+/// Read and parse a trace file. Throws std::runtime_error on I/O or format
+/// errors.
+CommTraceData read_comm_trace_file(const std::string& path);
+
+}  // namespace mmd::telemetry

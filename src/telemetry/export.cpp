@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <string_view>
+#include <tuple>
 
+#include "telemetry/comm_recorder.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -37,7 +40,47 @@ double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
 
 }  // namespace
 
+namespace {
+
+const char* comm_slice_name(CommOp op) {
+  switch (op) {
+    case CommOp::kSend: return "comm.send";
+    case CommOp::kRecv: return "comm.recv";
+    case CommOp::kIrecvPost: return "comm.irecv";
+    case CommOp::kWait: return "comm.wait";
+    case CommOp::kPut: return "comm.put";
+    case CommOp::kCollective: return "comm.collective";
+  }
+  return "comm.?";
+}
+
+/// (src, dst, tag, per-triple sequence) -> flow id. Mailbox delivery keeps
+/// same-triple messages FIFO, so ordinal matching reconstructs the pairing.
+using FlowKey = std::tuple<int, int, int, std::uint64_t>;
+
+std::map<FlowKey, std::uint64_t> assign_flow_ids(const CommRecorder& rec) {
+  std::map<FlowKey, std::uint64_t> ids;
+  std::uint64_t next_id = 1;
+  for (int rank = 0; rank < rec.nranks(); ++rank) {
+    std::map<std::tuple<int, int, int>, std::uint64_t> seq;
+    for (const CommEvent& ev : rec.rank_log(rank).events) {
+      if (ev.op != CommOp::kSend || ev.peer < 0) continue;
+      const auto triple = std::make_tuple(rank, ev.peer, ev.tag);
+      ids.emplace(std::tuple_cat(triple, std::make_tuple(seq[triple]++)),
+                  next_id++);
+    }
+  }
+  return ids;
+}
+
+}  // namespace
+
 void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  write_chrome_trace(os, tracer, nullptr);
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const CommRecorder* recorder) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   const auto sep = [&] {
@@ -72,7 +115,56 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
       os << "}";
     }
   }
-  os << "],\"otherData\":{\"dropped_events\":" << tracer.total_dropped() << "}}\n";
+  std::uint64_t comm_stored = 0;
+  std::uint64_t comm_dropped = 0;
+  if (recorder != nullptr) {
+    comm_stored = recorder->total_recorded() - recorder->total_dropped();
+    comm_dropped = recorder->total_dropped();
+    const std::map<FlowKey, std::uint64_t> flow_ids = assign_flow_ids(*recorder);
+    for (int rank = 0; rank < recorder->nranks(); ++rank) {
+      std::map<std::tuple<int, int, int>, std::uint64_t> send_seq;
+      std::map<std::tuple<int, int, int>, std::uint64_t> recv_seq;
+      for (const CommEvent& ev : recorder->rank_log(rank).events) {
+        // Every recorded op is a small slice on the rank's master lane...
+        sep();
+        os << "{\"ph\":\"X\",\"name\":\"" << comm_slice_name(ev.op)
+           << "\",\"cat\":\"comm\",\"pid\":" << rank
+           << ",\"tid\":" << Tracer::kMasterLane << ",\"ts\":" << us(ev.t0_ns)
+           << ",\"dur\":" << us(ev.t1_ns - ev.t0_ns) << ",\"args\":{\"peer\":"
+           << ev.peer << ",\"tag\":" << ev.tag << ",\"bytes\":" << ev.bytes
+           << "}}";
+        // ...and each matched send/receive pair a flow arrow between ranks.
+        if (ev.peer < 0) continue;
+        if (ev.op == CommOp::kSend) {
+          const auto triple = std::make_tuple(rank, ev.peer, ev.tag);
+          const auto it = flow_ids.find(
+              std::tuple_cat(triple, std::make_tuple(send_seq[triple]++)));
+          if (it == flow_ids.end()) continue;
+          sep();
+          os << "{\"ph\":\"s\",\"id\":" << it->second
+             << ",\"name\":\"msg\",\"cat\":\"comm\",\"pid\":" << rank
+             << ",\"tid\":" << Tracer::kMasterLane << ",\"ts\":" << us(ev.t0_ns)
+             << "}";
+        } else if (ev.op == CommOp::kRecv || ev.op == CommOp::kWait) {
+          const auto triple = std::make_tuple(ev.peer, rank, ev.tag);
+          const auto it = flow_ids.find(
+              std::tuple_cat(triple, std::make_tuple(recv_seq[triple]++)));
+          if (it == flow_ids.end()) continue;
+          sep();
+          os << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << it->second
+             << ",\"name\":\"msg\",\"cat\":\"comm\",\"pid\":" << rank
+             << ",\"tid\":" << Tracer::kMasterLane << ",\"ts\":" << us(ev.t1_ns)
+             << "}";
+        }
+      }
+    }
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << tracer.total_dropped();
+  if (recorder != nullptr) {
+    os << ",\"comm_events\":" << comm_stored
+       << ",\"comm_dropped\":" << comm_dropped;
+  }
+  os << "}}\n";
 }
 
 namespace {
@@ -155,9 +247,14 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
 }
 
 bool write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+  return write_chrome_trace_file(path, tracer, nullptr);
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer,
+                             const CommRecorder* recorder) {
   std::ofstream os(path);
   if (!os) return false;
-  write_chrome_trace(os, tracer);
+  write_chrome_trace(os, tracer, recorder);
   return static_cast<bool>(os);
 }
 

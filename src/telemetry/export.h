@@ -5,6 +5,7 @@
 
 namespace mmd::telemetry {
 
+class CommRecorder;
 class MetricsRegistry;
 class Tracer;
 
@@ -14,6 +15,15 @@ class Tracer;
 /// their DMA traffic as args when nonzero.
 void write_chrome_trace(std::ostream& os, const Tracer& tracer);
 
+/// Same, plus the comm flight recorder's events when `recorder` is non-null:
+/// each message becomes a small "comm.*" slice on the master lane and each
+/// matched send/receive pair a flow arrow ("ph":"s"/"f") between the rank
+/// timelines. Matching is per (src, dst, tag) in message order — the
+/// mailbox delivers same-triple messages FIFO, so the k-th send from a to b
+/// with tag t pairs with the k-th completed receive at b from a with tag t.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const CommRecorder* recorder);
+
 /// Flat metrics JSON: the cross-rank aggregate (counter sums, gauge max/sum,
 /// merged distributions) followed by every rank's raw slot. Schema in
 /// docs/OBSERVABILITY.md.
@@ -22,6 +32,8 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
 /// File-writing convenience wrappers; return false (and write nothing else)
 /// if the file cannot be opened.
 bool write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer,
+                             const CommRecorder* recorder);
 bool write_metrics_json_file(const std::string& path, const MetricsRegistry& registry);
 
 }  // namespace mmd::telemetry

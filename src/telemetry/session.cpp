@@ -20,6 +20,10 @@ Session::Session(int nranks) : Session(nranks, Options{}) {}
 Session::Session(int nranks, Options opt)
     : metrics_(nranks),
       tracer_(nranks, opt.lanes_per_rank, opt.events_per_track) {
+  if (opt.comm_events_per_rank > 0) {
+    comm_recorder_ = std::make_unique<CommRecorder>(
+        nranks, opt.comm_events_per_rank, tracer_.epoch());
+  }
   if (opt.install_global) {
     Session* expected = nullptr;
     installed_ = g_current.compare_exchange_strong(expected, this);

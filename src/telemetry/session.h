@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
+#include "telemetry/comm_recorder.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -41,6 +43,10 @@ class Session {
     /// false: their sessions are reachable only through a ThreadScope, so a
     /// job's telemetry can never leak to unrelated threads.
     bool install_global = true;
+    /// Comm flight-recorder ring capacity per rank; 0 disables recording.
+    /// When nonzero, comm::World::run records every send/recv/wait into the
+    /// session's CommRecorder (see comm_recorder.h).
+    std::size_t comm_events_per_rank = 0;
   };
 
   explicit Session(int nranks);
@@ -54,6 +60,11 @@ class Session {
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+
+  /// The comm flight recorder, or nullptr when Options::comm_events_per_rank
+  /// was 0. Shares the tracer's epoch so event and span timestamps align.
+  CommRecorder* comm_recorder() { return comm_recorder_.get(); }
+  const CommRecorder* comm_recorder() const { return comm_recorder_.get(); }
 
   /// Whether this session won the race to become the process-wide one (a
   /// nested session stays usable through explicit references but is not
@@ -84,6 +95,7 @@ class Session {
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  std::unique_ptr<CommRecorder> comm_recorder_;
   bool installed_;
 };
 

@@ -71,6 +71,10 @@ class Tracer {
   static TrackId calling_thread_track();
   static Tracer* calling_thread_tracer();
 
+  /// The construction instant all span timestamps are relative to. The comm
+  /// flight recorder shares it so comm events line up with phase spans.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
   /// Nanoseconds since this tracer's construction.
   std::uint64_t now_ns() const {
     return static_cast<std::uint64_t>(

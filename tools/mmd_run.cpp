@@ -4,6 +4,7 @@
 //
 //   mmd_run config.mmd
 //   mmd_run config.mmd --trace-out=trace.json --metrics-out=metrics.json
+//   mmd_run config.mmd --comm-trace-out=run.mmdtrace
 //   mmd_run config.mmd --perf-report
 //   mmd_run config.mmd --perf-report=perf.json
 //   mmd_run config.mmd --checkpoint-dir=ckpt --checkpoint-every=10
@@ -12,7 +13,11 @@
 //
 // --trace-out writes a Chrome-trace JSON (load in chrome://tracing or
 // ui.perfetto.dev) with per-rank MD/KMC phase spans; --metrics-out writes the
-// flat metrics JSON (comm volumes, DMA traffic, timing split). --perf-report
+// flat metrics JSON (comm volumes, DMA traffic, timing split).
+// --comm-trace-out enables the comm flight recorder and writes the binary
+// per-message trace (replayable with mmd_trace_replay; equivalently set the
+// comm.trace scenario key). With both --trace-out and the recorder enabled,
+// messages appear as flow arrows between rank timelines. --perf-report
 // analyzes the run's spans + metrics (per-phase critical path over ranks,
 // load-imbalance factor, p50/p95/p99 span tails, DMA-vs-compute overlap) and
 // prints the human-readable report; with =FILE it also writes the versioned
@@ -37,15 +42,18 @@
 //   kmc.strategy  = on-demand # traditional | on-demand | on-demand-2sided
 //   xyz           = damage.xyz
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/scenario.h"
 #include "core/simulation.h"
 #include "telemetry/analysis.h"
+#include "telemetry/comm_trace.h"
 #include "telemetry/export.h"
 #include "telemetry/session.h"
 #include "util/key_value.h"
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string trace_out;
   std::string metrics_out;
+  std::string comm_trace_out;
   std::string checkpoint_dir;
   int checkpoint_every = -1;  // -1: not given on the command line
   bool resume = false;
@@ -83,6 +92,8 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg.rfind("--comm-trace-out=", 0) == 0) {
+      comm_trace_out = arg.substr(17);
     } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
       checkpoint_dir = arg.substr(17);
     } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
@@ -107,7 +118,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mmd_run <config-file> [--trace-out=FILE] "
                  "[--metrics-out=FILE]\n"
-                 "               [--perf-report[=FILE]]\n"
+                 "               [--comm-trace-out=FILE] [--perf-report[=FILE]]\n"
                  "               [--checkpoint-dir=DIR] "
                  "[--checkpoint-every=CYCLES] [--resume]\n"
                  "       mmd_run --print-defaults\n");
@@ -131,10 +142,17 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // The flag overrides the comm.trace scenario key, mirroring checkpoints.
+    if (!comm_trace_out.empty()) cfg.comm_trace = comm_trace_out;
+
     const int box = cfg.md.nx;
     std::printf("mmd_run: %d^3 cells (%d atoms), %d ranks, T = %.0f K\n", box,
                 2 * box * box * box, cfg.nranks, cfg.md.temperature);
-    telemetry::Session session(cfg.nranks);
+    telemetry::Session::Options session_opt;
+    if (!cfg.comm_trace.empty()) {
+      session_opt.comm_events_per_rank = std::size_t{1} << 16;
+    }
+    telemetry::Session session(cfg.nranks, session_opt);
     core::Simulation sim(cfg);
     const auto report = sim.run();
     // stderr, so stdout stays byte-comparable between a full run and a
@@ -152,12 +170,45 @@ int main(int argc, char** argv) {
     std::printf("%s\n", core::to_string(report).c_str());
 
     if (!trace_out.empty()) {
-      if (!telemetry::write_chrome_trace_file(trace_out, session.tracer())) {
+      // With the flight recorder on, comm messages ride along as flow arrows.
+      if (!telemetry::write_chrome_trace_file(trace_out, session.tracer(),
+                                              session.comm_recorder())) {
         std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
         return 1;
       }
       std::printf("wrote %s (Chrome trace; load in chrome://tracing or Perfetto)\n",
                   trace_out.c_str());
+    }
+    if (!cfg.comm_trace.empty()) {
+      const auto agg = session.metrics().aggregate();
+      const auto counter = [&](const char* name) -> std::uint64_t {
+        const auto it = agg.counters.find(name);
+        return it == agg.counters.end() ? 0 : it->second;
+      };
+      const auto nranks_u = static_cast<std::uint64_t>(cfg.nranks);
+      // Per-rank step count: every rank walks the same MD + KMC loop, so the
+      // replay's per-step normalization divides the aggregate by nranks.
+      const std::uint64_t steps =
+          (counter("md.steps") + counter("kmc.cycles")) / nranks_u;
+      std::map<std::string, std::string> meta;
+      meta["scenario"] = config_path;
+      meta["ranks"] = std::to_string(cfg.nranks);
+      meta["box"] = std::to_string(box);
+      meta["atoms"] = std::to_string(2 * box * box * box);
+      meta["steps"] = std::to_string(steps > 0 ? steps : 1);
+      meta["md_steps"] = std::to_string(counter("md.steps") / nranks_u);
+      meta["kmc_cycles"] = std::to_string(counter("kmc.cycles") / nranks_u);
+      const auto trace = telemetry::trace_from_recorder(
+          *session.comm_recorder(), std::move(meta));
+      std::string err;
+      if (!telemetry::write_comm_trace_file(cfg.comm_trace, trace, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (comm trace: %llu events, %llu dropped)\n",
+                  cfg.comm_trace.c_str(),
+                  static_cast<unsigned long long>(trace.total_stored()),
+                  static_cast<unsigned long long>(trace.total_dropped()));
     }
     if (!metrics_out.empty()) {
       if (!telemetry::write_metrics_json_file(metrics_out, session.metrics())) {
