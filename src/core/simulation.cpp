@@ -30,6 +30,8 @@ kmc::KmcConfig kmc_config_from(const SimulationConfig& cfg) {
   k.seed = cfg.md.seed;
   k.dt_scale = cfg.kmc_dt_scale;
   k.table_segments = cfg.kmc_table_segments;
+  k.incremental = cfg.kmc_incremental;
+  k.debug_events = cfg.kmc_debug_events;
   return k;
 }
 

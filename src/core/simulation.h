@@ -37,6 +37,12 @@ struct SimulationConfig {
   int kmc_cycles = 50;             ///< KMC cycles after the MD stage
   double kmc_dt_scale = 1.0;
   int kmc_table_segments = 2000;   ///< KMC-side table resolution
+  /// Incremental event tables (scenario key `kmc.incremental`): dirty-region
+  /// rate rebuilds + O(log N) BKL selection. false selects the full-rescan
+  /// oracle; both produce bit-identical event sequences.
+  bool kmc_incremental = true;
+  /// Per-event stderr logging (scenario key `kmc.debug_events`).
+  bool kmc_debug_events = false;
 
   // --- fault-tolerant checkpoint/restart (docs/CHECKPOINTING.md) ---
   /// KMC cycles between checkpoint epochs (0 disables periodic saving).

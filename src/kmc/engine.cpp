@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
@@ -22,7 +21,10 @@ KmcEngine::KmcEngine(const KmcConfig& cfg, const lat::BccGeometry& geo,
     : cfg_(cfg),
       model_(cfg, geo, dd, tables, rank),
       ghosts_(geo, dd, rank, model_.box().halo, strategy),
-      base_rng_(cfg.seed) {}
+      base_rng_(cfg.seed) {
+  table_.reset(model_.owned_indices().size());
+  dirty_mark_.assign(model_.owned_indices().size(), 0);
+}
 
 void KmcEngine::initialize_random(comm::Comm& comm, double vacancy_concentration,
                                   double solute_fraction) {
@@ -85,41 +87,110 @@ int KmcEngine::sector_of(const lat::LocalCoord& c) const {
   return (hz << 2) | (hy << 1) | hx;
 }
 
-void KmcEngine::build_events(int sector, std::vector<Event>& out,
-                             double* max_rate) {
-  MMD_TRACE_SCOPE("kmc.rates.build");
-  out.clear();
+void KmcEngine::enumerate_candidates(std::size_t vac) {
   const lat::LocalBox& b = model_.box();
-  std::vector<EventCandidate> candidates;
-  for (std::size_t idx : model_.owned_indices()) {
-    if (model_.state(idx) != SiteState::Vacancy) continue;
-    const lat::LocalCoord c = b.coord_of(idx);
-    if (sector_of(c) != sector) continue;
-    for (const auto& o : model_.nn_offsets(c.sub)) {
-      const lat::LocalCoord n{c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub};
-      if (!b.in_storage(n)) continue;
-      const std::size_t ni = b.entry_index(n);
-      if (!is_atom(model_.state(ni))) continue;
-      candidates.push_back({idx, ni});
-    }
+  const lat::LocalCoord c = b.coord_of(vac);
+  const std::uint32_t ord = model_.owned_ordinal(vac);
+  const auto& nn = model_.nn_offsets(c.sub);
+  for (std::size_t k = 0; k < nn.size(); ++k) {
+    const auto& o = nn[k];
+    const lat::LocalCoord n{c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub};
+    if (!b.in_storage(n)) continue;
+    const std::size_t ni = b.entry_index(n);
+    if (!is_atom(model_.state(ni))) continue;
+    batch_.push_back({vac, ni});
+    slots_.push_back(static_cast<std::size_t>(ord) * EventTable::kSlotsPerSite + k);
   }
+}
+
+void KmcEngine::apply_batch(double* max_rate) {
   // Exchange energies: master-core path, or batched on the slave cores
-  // (paper §2.2 — the same interpolation machinery as MD).
-  std::vector<double> dE;
+  // (paper §2.2 — the same interpolation machinery as MD). Each dE is a pure
+  // function of its candidate's neighborhood, so rating a dirty subset gives
+  // bit-identical values to rating the full population.
+  const std::vector<double>* dE;
   if (slave_rates_ != nullptr) {
-    dE = slave_rates_->exchange_dE_batch(model_, candidates);
+    dE = &slave_rates_->exchange_dE_batch(model_, batch_);
   } else {
-    dE.reserve(candidates.size());
-    for (const EventCandidate& ev : candidates) {
-      dE.push_back(model_.exchange_dE(ev.vac, ev.nb));
+    de_scratch_.clear();
+    de_scratch_.reserve(batch_.size());
+    for (const EventCandidate& ev : batch_) {
+      de_scratch_.push_back(model_.exchange_dE(ev.vac, ev.nb));
     }
+    dE = &de_scratch_;
   }
-  out.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double k = model_.rate(dE[i]);
-    out.push_back({candidates[i].vac, candidates[i].nb, k});
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    const double k = model_.rate((*dE)[i]);
+    table_.set_rate(EventTable::site_of(slots_[i]),
+                    EventTable::offset_of(slots_[i]), k);
     if (max_rate != nullptr) *max_rate = std::max(*max_rate, k);
   }
+  rates_recomputed_ += batch_.size();
+}
+
+void KmcEngine::rebuild_sector_table(int sector, double* max_rate) {
+  MMD_TRACE_SCOPE("kmc.rates.build");
+  table_.clear();
+  batch_.clear();
+  slots_.clear();
+  const lat::LocalBox& b = model_.box();
+  for (std::size_t idx : model_.owned_indices()) {
+    if (model_.state(idx) != SiteState::Vacancy) continue;
+    if (sector_of(b.coord_of(idx)) != sector) continue;
+    enumerate_candidates(idx);
+  }
+  apply_batch(max_rate);
+}
+
+void KmcEngine::update_after_event(int sector, std::int64_t gid_vac,
+                                   std::int64_t gid_atom, double* max_rate) {
+  MMD_TRACE_SCOPE("kmc.rates.update");
+  const lat::LocalBox& b = model_.box();
+  dirty_sites_.clear();
+  // A candidate block needs a refresh when its site is an in-sector owned
+  // vacancy near a flipped site (rates or partners changed) or when it holds
+  // stale slots (the site stopped being a vacancy: exactly the swapped
+  // vacancy site itself). Every local image of the two swapped gids is a
+  // flip center — periodic wraps can place one inside the halo shell of a
+  // distant-looking region.
+  const auto consider = [&](const lat::LocalCoord& c) {
+    if (!b.owns(c)) return;
+    if (sector_of(c) != sector) return;
+    const std::size_t idx = b.entry_index(c);
+    const std::uint32_t ord = model_.owned_ordinal(idx);
+    if (dirty_mark_[ord] != 0) return;
+    if (model_.state(idx) != SiteState::Vacancy && !table_.site_touched(ord)) {
+      return;
+    }
+    dirty_mark_[ord] = 1;
+    dirty_sites_.push_back(idx);
+  };
+  for (const std::int64_t gid : {gid_vac, gid_atom}) {
+    model_.images_of_global(gid, images_);
+    for (const std::size_t img : images_) {
+      const lat::LocalCoord c = b.coord_of(img);
+      consider(c);
+      for (const auto& o : model_.invalidation_offsets(c.sub)) {
+        const lat::LocalCoord n{c.x + o.dx, c.y + o.dy, c.z + o.dz, o.to_sub};
+        if (!b.in_storage(n)) continue;
+        consider(n);
+      }
+    }
+  }
+  batch_.clear();
+  slots_.clear();
+  for (const std::size_t idx : dirty_sites_) {
+    table_.clear_site(model_.owned_ordinal(idx));
+    if (model_.state(idx) == SiteState::Vacancy) enumerate_candidates(idx);
+  }
+  apply_batch(max_rate);
+  for (const std::size_t idx : dirty_sites_) {
+    dirty_mark_[model_.owned_ordinal(idx)] = 0;
+  }
+  // Candidates that survived the event untouched — the rescan path would
+  // have recomputed all of them. Every batch entry rates nonzero (rate() is
+  // an exponential), so active-after minus the batch is exactly the reuse.
+  rates_reused_ += table_.active_slots() - batch_.size();
 }
 
 void KmcEngine::process_sector(comm::Comm& comm, int sector, double dt,
@@ -136,50 +207,56 @@ void KmcEngine::process_sector(comm::Comm& comm, int sector, double dt,
   comp_.start();
   util::Rng rng = base_rng_.split(cycle * 8 + static_cast<std::uint64_t>(sector))
                       .split(static_cast<std::uint64_t>(model_.rank()) + 1);
-  std::vector<Event> events;
+  const lat::LocalBox& b = model_.box();
   double max_rate = 0.0;
-  build_events(sector, events, &max_rate);
-  last_max_rate_ = std::max(last_max_rate_, max_rate);
+  rebuild_sector_table(sector, &max_rate);
 
   std::vector<std::int64_t> touched;
   double tau = 0.0;
-  while (!events.empty()) {
-    double total = 0.0;
-    for (const Event& e : events) total += e.rate;
+  while (true) {
+    const double total = table_.total();
     if (total <= 0.0) break;
     // BKL residence time: advance the sector clock before executing; if the
     // event would land beyond dt it is not executed this cycle.
     tau += -std::log(std::max(rng.uniform(), 1e-300)) / total;
     if (tau > dt) break;
-    double pick = rng.uniform() * total;
-    std::size_t chosen = events.size() - 1;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      pick -= events[i].rate;
-      if (pick <= 0.0) {
-        chosen = i;
-        break;
-      }
-    }
-    const Event ev = events[chosen];
-    const std::int64_t gid_vac = model_.site_rank_of(ev.vac);
-    const std::int64_t gid_atom = model_.site_rank_of(ev.nb);
-    const SiteState atom = model_.state(ev.nb);
-    static const bool kDebugEvents = std::getenv("MMD_KMC_DEBUG") != nullptr;
-    if (kDebugEvents) {
+    const double pick = rng.uniform() * total;
+    const std::size_t slot = table_.sample(pick);
+    if (slot == EventTable::npos) break;  // FP guard; total() > 0 above
+    candidates_seen_ += table_.active_slots();
+    // Decode the canonical slot back into the candidate it addresses: the
+    // block's owned site is the vacancy, the in-block index its 1NN offset.
+    const std::size_t vac = model_.owned_indices()[EventTable::site_of(slot)];
+    const lat::LocalCoord cv = b.coord_of(vac);
+    const auto& o = model_.nn_offsets(cv.sub)[static_cast<std::size_t>(
+        EventTable::offset_of(slot))];
+    const std::size_t nb =
+        b.entry_index({cv.x + o.dx, cv.y + o.dy, cv.z + o.dz, o.to_sub});
+    const std::int64_t gid_vac = model_.site_rank_of(vac);
+    const std::int64_t gid_atom = model_.site_rank_of(nb);
+    const SiteState atom = model_.state(nb);
+    if (cfg_.debug_events) {
       std::fprintf(stderr, "[ev] cyc %llu sec %d rank %d: vac %lld <-> %lld (%d)\n",
                    static_cast<unsigned long long>(cycle), sector, model_.rank(),
                    static_cast<long long>(gid_vac),
                    static_cast<long long>(gid_atom), static_cast<int>(atom));
     }
+    if (cfg_.record_events) event_log_.emplace_back(gid_vac, gid_atom);
     model_.set_state_global(gid_vac, atom);
     model_.set_state_global(gid_atom, SiteState::Vacancy);
     touched.push_back(gid_vac);
     touched.push_back(gid_atom);
     ++stats_.events;
-    double mr = 0.0;
-    build_events(sector, events, &mr);
-    last_max_rate_ = std::max(last_max_rate_, mr);
+    if (cfg_.incremental) {
+      update_after_event(sector, gid_vac, gid_atom, &max_rate);
+    } else {
+      rebuild_sector_table(sector, &max_rate);
+    }
   }
+  last_max_rate_ = std::max(last_max_rate_, max_rate);
+  // The table is per-sector transient: leave it empty so the next sector
+  // (and a checkpoint-resumed engine) starts from the same clean slate.
+  table_.clear();
 
   // Final states of all touched sites (a site may have been swapped twice).
   std::sort(touched.begin(), touched.end());
@@ -202,7 +279,24 @@ void KmcEngine::process_sector(comm::Comm& comm, int sector, double dt,
 
   const std::uint64_t executed = stats_.events - events_before;
   if (executed > 0) telemetry::count("kmc.events", executed);
+  if (executed > 0 && !cfg_.debug_events) {
+    telemetry::count("kmc.events.debug_suppressed", executed);
+  }
   telemetry::observe("kmc.sector_events", static_cast<double>(executed));
+  // Event-table bookkeeping counters, accumulated per event and flushed once
+  // per sector to keep registry lookups off the hot loop.
+  if (rates_recomputed_ > 0) {
+    telemetry::count("kmc.rates.recomputed", rates_recomputed_);
+    rates_recomputed_ = 0;
+  }
+  if (rates_reused_ > 0) {
+    telemetry::count("kmc.rates.reused", rates_reused_);
+    rates_reused_ = 0;
+  }
+  if (candidates_seen_ > 0) {
+    telemetry::count("kmc.events.candidates", candidates_seen_);
+    candidates_seen_ = 0;
+  }
 }
 
 std::uint64_t KmcEngine::run_cycles(comm::Comm& comm, int n) {

@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "comm/world.h"
 #include "kmc/comm_strategy.h"
+#include "kmc/event_table.h"
 #include "kmc/model.h"
 #include "kmc/slave_rates.h"
 #include "util/rng.h"
@@ -97,16 +99,36 @@ class KmcEngine {
   /// path). Event energetics are identical either way.
   void use_slave_rates(SlaveRateCompute* kernel) { slave_rates_ = kernel; }
 
- private:
-  struct Event {
-    std::size_t vac = 0;
-    std::size_t nb = 0;
-    double rate = 0.0;
-  };
+  /// Executed events as (vacancy gid, atom gid) pairs, recorded when
+  /// cfg.record_events is set (test hook for sequence equivalence).
+  const std::vector<std::pair<std::int64_t, std::int64_t>>& event_log() const {
+    return event_log_;
+  }
 
+ private:
   /// Sector membership of an owned local coordinate.
   int sector_of(const lat::LocalCoord& c) const;
-  void build_events(int sector, std::vector<Event>& out, double* max_rate);
+
+  /// Append the candidate events of the owned vacancy at `vac` (its occupied
+  /// 1NNs) to batch_/slots_, in canonical nn-offset order.
+  void enumerate_candidates(std::size_t vac);
+
+  /// Rate batch_ (slave kernel or master path), write the rates into the
+  /// event table at slots_, and fold the per-batch maximum into *max_rate.
+  void apply_batch(double* max_rate);
+
+  /// Rebuild the sector's table from scratch: clear every touched block,
+  /// re-enumerate every in-sector vacancy, recompute every dE. The
+  /// per-executed-event cost of the kmc.incremental=off oracle.
+  void rebuild_sector_table(int sector, double* max_rate);
+
+  /// Dirty-region maintenance after a swap of (gid_vac, gid_atom): refresh
+  /// only the candidate blocks inside the invalidation shell of the two
+  /// sites' local images. Leaves the table bit-identical to what
+  /// rebuild_sector_table would produce.
+  void update_after_event(int sector, std::int64_t gid_vac,
+                          std::int64_t gid_atom, double* max_rate);
+
   void process_sector(comm::Comm& comm, int sector, double dt,
                       std::uint64_t cycle);
 
@@ -120,6 +142,20 @@ class KmcEngine {
   bool initialized_ = false;
   mutable util::AccumTimer comp_;
   mutable util::AccumTimer comm_time_;
+
+  // --- incremental event-table state (reused scratch, no per-event allocs) ---
+  EventTable table_;
+  std::vector<EventCandidate> batch_;     ///< candidates awaiting rating
+  std::vector<std::size_t> slots_;        ///< table slot per batch_ entry
+  std::vector<double> de_scratch_;        ///< master-core path dE output
+  std::vector<std::size_t> dirty_sites_;  ///< owned entries to refresh
+  std::vector<std::uint8_t> dirty_mark_;  ///< per-ordinal dedup flags
+  std::vector<std::size_t> images_;       ///< images_of_global scratch
+  std::vector<std::pair<std::int64_t, std::int64_t>> event_log_;
+  // Per-run telemetry accumulators, flushed once per sector.
+  std::uint64_t rates_recomputed_ = 0;
+  std::uint64_t rates_reused_ = 0;
+  std::uint64_t candidates_seen_ = 0;
 };
 
 /// Geometry/decomposition pair for a KMC-only run.

@@ -1,0 +1,81 @@
+#include "kmc/event_table.h"
+
+#include <algorithm>
+
+namespace mmd::kmc {
+
+void EventTable::reset(std::size_t n_sites) {
+  n_slots_ = n_sites * static_cast<std::size_t>(kSlotsPerSite);
+  cap_ = 1;
+  while (cap_ < std::max<std::size_t>(n_slots_, 1)) cap_ <<= 1;
+  tree_.assign(2 * cap_, 0.0);
+  touched_.assign(n_sites, 0);
+  touched_list_.clear();
+  active_slots_ = 0;
+}
+
+void EventTable::clear() {
+  for (const std::uint32_t site : touched_list_) {
+    const std::size_t base = static_cast<std::size_t>(site) * kSlotsPerSite;
+    for (int k = 0; k < kSlotsPerSite; ++k) {
+      if (tree_[cap_ + base + k] != 0.0) write_leaf(base + k, 0.0);
+    }
+    touched_[site] = 0;
+  }
+  touched_list_.clear();
+}
+
+void EventTable::write_leaf(std::size_t slot, double rate) {
+  const double prev = tree_[cap_ + slot];
+  if (prev == 0.0 && rate != 0.0) {
+    ++active_slots_;
+  } else if (prev != 0.0 && rate == 0.0) {
+    --active_slots_;
+  }
+  tree_[cap_ + slot] = rate;
+  for (std::size_t i = (cap_ + slot) >> 1; i >= 1; i >>= 1) {
+    tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+  }
+}
+
+void EventTable::set_rate(std::size_t site, int k, double rate) {
+  if (touched_[site] == 0) {
+    touched_[site] = 1;
+    touched_list_.push_back(static_cast<std::uint32_t>(site));
+  }
+  write_leaf(site * static_cast<std::size_t>(kSlotsPerSite) +
+                 static_cast<std::size_t>(k),
+             rate);
+}
+
+void EventTable::clear_site(std::size_t site) {
+  const std::size_t base = site * static_cast<std::size_t>(kSlotsPerSite);
+  for (int k = 0; k < kSlotsPerSite; ++k) {
+    if (tree_[cap_ + base + k] != 0.0) write_leaf(base + k, 0.0);
+  }
+}
+
+std::size_t EventTable::sample(double pick) const {
+  if (total() <= 0.0) return npos;
+  std::size_t i = 1;
+  while (i < cap_) {
+    i <<= 1;
+    const double left = tree_[i];
+    if (pick >= left) {
+      pick -= left;
+      ++i;
+    }
+  }
+  const std::size_t slot = i - cap_;
+  if (tree_[i] != 0.0) return slot;
+  // FP edge: a pick that rounds past every active leaf. Deterministic
+  // fallback to the highest-index active slot (mirrors the linear scan's
+  // "last event" convention); never taken for picks strictly inside a
+  // leaf's interval.
+  for (std::size_t s = n_slots_; s-- > 0;) {
+    if (tree_[cap_ + s] != 0.0) return s;
+  }
+  return npos;
+}
+
+}  // namespace mmd::kmc

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmd::kmc {
+
+/// Partial-sum (segment) tree over per-site candidate slots: the event
+/// population of one sector, maintained across events.
+///
+/// Every owned site gets a fixed block of kSlotsPerSite slots, one per
+/// first-nearest-neighbor offset, so slot = ordinal * 8 + k is a *canonical*
+/// address: it depends only on the configuration, never on insertion order.
+/// Inactive slots hold rate 0. The tree is a full binary tree over a
+/// power-of-two leaf array; every interior node stores the exact FP sum of
+/// its two children, recomputed bottom-up on each leaf write (never
+/// accumulated as a delta, so no drift).
+///
+/// Determinism contract (DESIGN.md "Incremental event tables"): because the
+/// association order of total() is fixed by the tree shape — which depends
+/// only on the capacity, not on which slots are active — two tables holding
+/// identical leaf values are identical objects: same total() bits, same
+/// sample() result for every pick. This is what lets the incremental
+/// dirty-region path in KmcEngine be *bit-identical* to the full-rescan
+/// oracle: both end each event with the same leaves, hence the same draws.
+class EventTable {
+ public:
+  static constexpr int kSlotsPerSite = 8;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Size the table for n_sites owned sites and zero every slot.
+  void reset(std::size_t n_sites);
+
+  /// Zero every slot touched since the last clear (sector teardown);
+  /// O(active sites), leaves the capacity in place.
+  void clear();
+
+  /// Set the rate of slot (site, k); O(log N) path update. Marks the site's
+  /// block active so clear()/clear_site() can find it.
+  void set_rate(std::size_t site, int k, double rate);
+
+  /// Zero all slots of one site's block (candidate invalidation).
+  void clear_site(std::size_t site);
+
+  /// Whether the site's block has been written since the last clear()
+  /// (it may still be all-zero; used to find stale blocks to refresh).
+  bool site_touched(std::size_t site) const {
+    return site < touched_.size() && touched_[site] != 0;
+  }
+
+  /// Exact FP sum of all slots: the BKL total rate. Bit-deterministic for a
+  /// given leaf array regardless of write order.
+  double total() const { return tree_.empty() ? 0.0 : tree_[1]; }
+
+  /// BKL selection: the slot s such that pick lands in its rate interval
+  /// under the tree's summation order; O(log N) descent. Requires
+  /// 0 <= pick < total(). If FP rounding strands the descent on a zero-rate
+  /// leaf, deterministically falls back to the highest-index active slot
+  /// (the same convention as a linear scan's "last event" fallback).
+  std::size_t sample(double pick) const;
+
+  double slot_rate(std::size_t slot) const { return tree_[cap_ + slot]; }
+  static std::size_t site_of(std::size_t slot) {
+    return slot / static_cast<std::size_t>(kSlotsPerSite);
+  }
+  static int offset_of(std::size_t slot) {
+    return static_cast<int>(slot % static_cast<std::size_t>(kSlotsPerSite));
+  }
+
+  /// Number of slots currently holding a nonzero rate (live candidates).
+  std::size_t active_slots() const { return active_slots_; }
+
+  std::size_t capacity_slots() const { return n_slots_; }
+  std::size_t memory_bytes() const {
+    return tree_.capacity() * sizeof(double) + touched_.capacity() +
+           touched_list_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  void write_leaf(std::size_t slot, double rate);
+
+  std::size_t n_slots_ = 0;  ///< addressable slots (n_sites * 8)
+  std::size_t cap_ = 0;      ///< power-of-two leaf count, >= n_slots_
+  std::vector<double> tree_; ///< 2*cap_ nodes; leaves at [cap_, cap_+n_slots_)
+  std::vector<std::uint8_t> touched_;        ///< per-site block flag
+  std::vector<std::uint32_t> touched_list_;  ///< sites to zero on clear()
+  std::size_t active_slots_ = 0;
+};
+
+}  // namespace mmd::kmc

@@ -1,6 +1,8 @@
 #include "kmc/model.h"
 
+#include <array>
 #include <cmath>
+#include <set>
 #include <stdexcept>
 
 namespace mmd::kmc {
@@ -64,8 +66,34 @@ KmcModel::KmcModel(const KmcConfig& cfg, const lat::BccGeometry& geo,
   }
   sites_.assign(box_.num_entries(), SiteState::Fe);
   owned_.reserve(box_.num_owned_sites());
+  owned_ordinal_.assign(box_.num_entries(), kNotOwned);
   for (std::size_t i = 0; i < sites_.size(); ++i) {
-    if (box_.owns(box_.coord_of(i))) owned_.push_back(i);
+    if (box_.owns(box_.coord_of(i))) {
+      owned_ordinal_[i] = static_cast<std::uint32_t>(owned_.size());
+      owned_.push_back(i);
+    }
+  }
+  // Invalidation shells: {0} ∪ cutoff ∪ (cutoff ∘ nn) per sublattice, as a
+  // sorted deduplicated set so the engine's dirty sweeps are deterministic.
+  for (int sub = 0; sub <= 1; ++sub) {
+    std::set<std::array<int, 4>> shell;
+    shell.insert({0, 0, 0, sub});
+    for (const auto& o1 : offsets_[sub]) {
+      shell.insert({o1.dx, o1.dy, o1.dz, o1.to_sub});
+      for (const auto& o2 : nn_[o1.to_sub]) {
+        shell.insert({o1.dx + o2.dx, o1.dy + o2.dy, o1.dz + o2.dz, o2.to_sub});
+      }
+    }
+    // The site's own 1NNs (candidate partners of a flipped vacancy) are
+    // already inside the cutoff shell, but keep the union explicit in case a
+    // tiny cutoff ever excludes them.
+    for (const auto& o2 : nn_[sub]) {
+      shell.insert({o2.dx, o2.dy, o2.dz, o2.to_sub});
+    }
+    invalidation_[sub].reserve(shell.size());
+    for (const auto& s : shell) {
+      invalidation_[sub].push_back({s[0], s[1], s[2], s[3]});
+    }
   }
 }
 
@@ -206,9 +234,11 @@ std::vector<std::int64_t> KmcModel::owned_vacancy_sites() const {
 std::size_t KmcModel::memory_bytes() const {
   std::size_t b = sites_.capacity() * sizeof(SiteState);
   b += owned_.capacity() * sizeof(std::size_t);
+  b += owned_ordinal_.capacity() * sizeof(std::uint32_t);
   for (int sub = 0; sub <= 1; ++sub) {
     b += offsets_[sub].capacity() * sizeof(lat::SiteOffset);
     b += deltas_[sub].capacity() * sizeof(std::int64_t);
+    b += invalidation_[sub].capacity() * sizeof(ShellOffset);
   }
   return b;
 }

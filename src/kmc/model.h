@@ -37,6 +37,18 @@ struct KmcConfig {
   double dt_scale = 1.0;               ///< cycle dt = dt_scale / k_max
   std::uint64_t seed = 42;
   int table_segments = 5000;
+  /// Maintain the sector's event table incrementally (dirty-region rate
+  /// rebuilds after each executed event). false = full rescan after every
+  /// event, the O(N_owned)-per-event equivalence oracle (scenario key
+  /// `kmc.incremental`). Both paths share the same partial-sum tree for
+  /// totals and selection, so the event sequence is bit-identical.
+  bool incremental = true;
+  /// Per-event stderr logging (scenario key `kmc.debug_events`); when off,
+  /// suppressed events are counted under `kmc.events.debug_suppressed`.
+  bool debug_events = false;
+  /// Test hook: record every executed event's (vacancy gid, atom gid) pair
+  /// in KmcEngine::event_log() for sequence-equivalence assertions.
+  bool record_events = false;
 };
 
 /// KMC real-time conversion (paper §3): t_real = t_threshold * C_MC / C_real
@@ -131,6 +143,33 @@ class KmcModel {
   const std::vector<std::size_t>& owned_indices() const { return owned_; }
   bool is_owned(std::size_t idx) const { return box_.owns(box_.coord_of(idx)); }
 
+  /// Dense ordinal of an owned entry within owned_indices() — the canonical
+  /// candidate-block address of the incremental event table — or
+  /// `kNotOwned` for halo entries.
+  static constexpr std::uint32_t kNotOwned = 0xffffffffu;
+  std::uint32_t owned_ordinal(std::size_t idx) const {
+    return owned_ordinal_[idx];
+  }
+
+  /// A pure cell/sublattice displacement (no geometry payload), used by the
+  /// invalidation shell below.
+  struct ShellOffset {
+    int dx = 0, dy = 0, dz = 0;
+    int to_sub = 0;
+  };
+
+  /// Invalidation shell of a site on sublattice `sub`: every offset o such
+  /// that flipping the state at c can change the existence or the rate of a
+  /// candidate whose vacancy sits at c + o. A candidate (v, n) reads the
+  /// states within the EAM cutoff of v and of n (n a 1NN of v), plus the
+  /// occupancy of v and n themselves — so the shell is the cutoff shell
+  /// dilated by the 1NN shell: {0} ∪ cutoff ∪ (cutoff ∘ nn), deduplicated.
+  /// Both shells are symmetric under negation on the BCC lattice, so the
+  /// "who do I affect" and "who affects me" sets coincide.
+  const std::vector<ShellOffset>& invalidation_offsets(int sub) const {
+    return invalidation_[sub];
+  }
+
   std::size_t count_owned_vacancies() const;
   std::vector<std::int64_t> owned_vacancy_sites() const;
 
@@ -158,6 +197,8 @@ class KmcModel {
   std::vector<double> phi_cache_[2];
   std::vector<SiteState> sites_;
   std::vector<std::size_t> owned_;
+  std::vector<std::uint32_t> owned_ordinal_;
+  std::vector<ShellOffset> invalidation_[2];
   std::vector<lat::SiteOffset> offsets_[2];
   std::vector<lat::SiteOffset> nn_[2];
   std::vector<std::int64_t> deltas_[2];

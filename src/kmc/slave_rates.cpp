@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "potential/table_access.h"
+#include "telemetry/session.h"
 
 namespace mmd::kmc {
 
@@ -92,17 +93,44 @@ void SlaveRateCompute::run_pass(const KmcModel& model,
   });
 }
 
-std::vector<double> SlaveRateCompute::exchange_dE_batch(
+namespace {
+
+sw::DmaStats dma_delta(const sw::DmaStats& after, const sw::DmaStats& before) {
+  sw::DmaStats d;
+  d.get_ops = after.get_ops - before.get_ops;
+  d.put_ops = after.put_ops - before.put_ops;
+  d.get_bytes = after.get_bytes - before.get_bytes;
+  d.put_bytes = after.put_bytes - before.put_bytes;
+  return d;
+}
+
+}  // namespace
+
+const std::vector<double>& SlaveRateCompute::exchange_dE_batch(
     const KmcModel& model, const std::vector<EventCandidate>& events) {
-  std::vector<double> rho_before, rho_after, pair_before, pair_after;
-  run_pass(model, events, Pass::Density, rho_before, rho_after);
-  run_pass(model, events, Pass::Pair, pair_before, pair_after);
+  const sw::DmaStats at_start = pool_->aggregate_dma_stats();
+  run_pass(model, events, Pass::Density, rho_before_, rho_after_);
+  const sw::DmaStats after_density = pool_->aggregate_dma_stats();
+  run_pass(model, events, Pass::Pair, pair_before_, pair_after_);
+  const sw::DmaStats density = dma_delta(after_density, at_start);
+  const sw::DmaStats pair =
+      dma_delta(pool_->aggregate_dma_stats(), after_density);
+  density_dma_ += density;
+  pair_dma_ += pair;
+  telemetry::count("kmc.rates.dma.density_bytes", density.total_bytes());
+  telemetry::count("kmc.rates.dma.pair_bytes", pair.total_bytes());
+
+  const auto& rho_before = rho_before_;
+  const auto& rho_after = rho_after_;
+  const auto& pair_before = pair_before_;
+  const auto& pair_after = pair_after_;
 
   // Master-core epilogue: the pair-distance density correction (the hopping
   // atom no longer contributes to its own new host density) and the
   // embedding terms.
   const lat::LocalBox box = model.box();
-  std::vector<double> dE(events.size());
+  std::vector<double>& dE = de_;
+  dE.assign(events.size(), 0.0);
   for (std::size_t i = 0; i < events.size(); ++i) {
     const EventCandidate ev = events[i];
     const auto t = static_cast<int>(model.state(ev.nb));

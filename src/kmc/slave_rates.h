@@ -27,17 +27,36 @@ struct EventCandidate {
 ///   pass f   (density table resident): host densities before/after the swap
 ///   pass phi (pair table resident)   : pair-energy sums before/after
 /// The embedding terms (two lookups per candidate) are applied on the master
-/// core. Results are bit-compatible with KmcModel::exchange_dE.
+/// core. Results are bit-compatible with KmcModel::exchange_dE, and each
+/// candidate's dE depends only on its own neighborhood — batch composition
+/// (full rescan vs a dirty subset) never changes a value, which the
+/// incremental event table relies on.
+///
+/// Scratch buffers (pass results + the dE epilogue) are members reused
+/// across calls: the incremental engine calls this once per executed event
+/// with a small dirty batch, so per-call allocation would dominate.
 class SlaveRateCompute {
  public:
   SlaveRateCompute(const pot::EamTableSet& tables, sw::SlaveCorePool& pool);
 
-  /// dE for every candidate, in order.
-  std::vector<double> exchange_dE_batch(const KmcModel& model,
-                                        const std::vector<EventCandidate>& events);
+  /// dE for every candidate, in order. The returned reference points at
+  /// member scratch and is invalidated by the next call.
+  const std::vector<double>& exchange_dE_batch(
+      const KmcModel& model, const std::vector<EventCandidate>& events);
 
   sw::DmaStats dma_stats() const { return pool_->aggregate_dma_stats(); }
-  void reset_stats() { pool_->reset_stats(); }
+  void reset_stats() {
+    pool_->reset_stats();
+    density_dma_ = {};
+    pair_dma_ = {};
+  }
+
+  /// DMA traffic attributed to each table pass across all batches since the
+  /// last reset_stats() (also mirrored into the `kmc.rates.dma.*` telemetry
+  /// counters). Attribution assumes this object's batches are not
+  /// interleaved with other users of the same pool mid-call.
+  const sw::DmaStats& density_dma_stats() const { return density_dma_; }
+  const sw::DmaStats& pair_dma_stats() const { return pair_dma_; }
 
  private:
   enum class Pass { Density, Pair };
@@ -48,6 +67,11 @@ class SlaveRateCompute {
 
   const pot::EamTableSet* tables_;
   sw::SlaveCorePool* pool_;
+  // Reused scratch: pass outputs and the assembled per-candidate dE.
+  std::vector<double> rho_before_, rho_after_, pair_before_, pair_after_;
+  std::vector<double> de_;
+  sw::DmaStats density_dma_;
+  sw::DmaStats pair_dma_;
 };
 
 }  // namespace mmd::kmc

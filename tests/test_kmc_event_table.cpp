@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kmc/event_table.h"
+#include "util/rng.h"
+
+namespace mmd::kmc {
+namespace {
+
+TEST(EventTable, EmptyTableHasZeroTotal) {
+  EventTable t;
+  t.reset(16);
+  EXPECT_EQ(t.total(), 0.0);
+  EXPECT_EQ(t.active_slots(), 0u);
+  EXPECT_EQ(t.sample(0.0), EventTable::npos);
+}
+
+TEST(EventTable, TotalMatchesTreeSummationOrder) {
+  EventTable t;
+  t.reset(5);
+  t.set_rate(0, 3, 1.5);
+  t.set_rate(2, 0, 2.25);
+  t.set_rate(4, 7, 0.125);
+  // Powers of two: the association order cannot change the value here.
+  EXPECT_EQ(t.total(), 1.5 + 2.25 + 0.125);
+  EXPECT_EQ(t.active_slots(), 3u);
+}
+
+TEST(EventTable, SampleLandsInTheRightSlotInterval) {
+  EventTable t;
+  t.reset(4);
+  t.set_rate(0, 0, 1.0);  // slot 0: [0, 1)
+  t.set_rate(1, 2, 2.0);  // slot 10: [1, 3)
+  t.set_rate(3, 7, 4.0);  // slot 31: [3, 7)
+  EXPECT_EQ(t.sample(0.0), 0u);
+  EXPECT_EQ(t.sample(0.999), 0u);
+  EXPECT_EQ(t.sample(1.0), 10u);
+  EXPECT_EQ(t.sample(2.999), 10u);
+  EXPECT_EQ(t.sample(3.0), 31u);
+  EXPECT_EQ(t.sample(6.999), 31u);
+  EXPECT_EQ(EventTable::site_of(10), 1u);
+  EXPECT_EQ(EventTable::offset_of(10), 2);
+  EXPECT_EQ(EventTable::site_of(31), 3u);
+  EXPECT_EQ(EventTable::offset_of(31), 7);
+}
+
+TEST(EventTable, ClearSiteRemovesItsSlotsOnly) {
+  EventTable t;
+  t.reset(3);
+  t.set_rate(0, 1, 1.0);
+  t.set_rate(1, 0, 2.0);
+  t.set_rate(1, 5, 3.0);
+  t.clear_site(1);
+  EXPECT_EQ(t.total(), 1.0);
+  EXPECT_EQ(t.active_slots(), 1u);
+  EXPECT_TRUE(t.site_touched(1));  // stale block stays findable until clear()
+  t.clear();
+  EXPECT_EQ(t.total(), 0.0);
+  EXPECT_FALSE(t.site_touched(1));
+  EXPECT_FALSE(t.site_touched(0));
+}
+
+/// The determinism contract: a table maintained through an arbitrary history
+/// of overwrites, clears, and re-inserts is *bit-identical* — total() and
+/// every sample() — to a fresh table holding the same final leaf values.
+TEST(EventTable, IncrementalHistoryMatchesFreshRebuildBitwise) {
+  constexpr std::size_t kSites = 100;
+  util::Rng rng(0xe7e47ab1eull);
+  EventTable incremental;
+  incremental.reset(kSites);
+  std::vector<double> leaves(kSites * EventTable::kSlotsPerSite, 0.0);
+  for (int step = 0; step < 5000; ++step) {
+    const auto site = rng.uniform_index(kSites);
+    if (rng.uniform() < 0.2) {
+      incremental.clear_site(site);
+      for (int k = 0; k < EventTable::kSlotsPerSite; ++k) {
+        leaves[site * EventTable::kSlotsPerSite + static_cast<std::size_t>(k)] = 0.0;
+      }
+    } else {
+      const auto k = static_cast<int>(rng.uniform_index(EventTable::kSlotsPerSite));
+      // Rates spanning many magnitudes, like exp(-barrier/kT) spreads.
+      const double rate = std::exp(rng.uniform(-20.0, 20.0));
+      incremental.set_rate(site, k, rate);
+      leaves[site * EventTable::kSlotsPerSite + static_cast<std::size_t>(k)] = rate;
+    }
+  }
+  EventTable fresh;
+  fresh.reset(kSites);
+  for (std::size_t s = 0; s < kSites; ++s) {
+    for (int k = 0; k < EventTable::kSlotsPerSite; ++k) {
+      const double r = leaves[s * EventTable::kSlotsPerSite + static_cast<std::size_t>(k)];
+      if (r != 0.0) fresh.set_rate(s, k, r);
+    }
+  }
+  ASSERT_EQ(incremental.total(), fresh.total());  // bitwise, not approximate
+  ASSERT_EQ(incremental.active_slots(), fresh.active_slots());
+  for (int i = 0; i < 2000; ++i) {
+    const double pick = rng.uniform() * fresh.total();
+    ASSERT_EQ(incremental.sample(pick), fresh.sample(pick)) << pick;
+  }
+}
+
+TEST(EventTable, SampleNeverReturnsAnInactiveSlot) {
+  EventTable t;
+  t.reset(64);
+  util::Rng rng(77);
+  std::vector<std::size_t> active;
+  for (int i = 0; i < 40; ++i) {
+    const auto site = rng.uniform_index(64);
+    const auto k = static_cast<int>(rng.uniform_index(EventTable::kSlotsPerSite));
+    t.set_rate(site, k, rng.uniform(1e-8, 1e8));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t slot = t.sample(rng.uniform() * t.total());
+    ASSERT_NE(slot, EventTable::npos);
+    ASSERT_GT(t.slot_rate(slot), 0.0);
+  }
+}
+
+TEST(EventTable, ResetReclaimsAndZeroes) {
+  EventTable t;
+  t.reset(8);
+  t.set_rate(7, 7, 42.0);
+  t.reset(2);
+  EXPECT_EQ(t.total(), 0.0);
+  EXPECT_EQ(t.capacity_slots(), 16u);
+  t.set_rate(1, 3, 1.0);
+  EXPECT_EQ(t.sample(0.5), 11u);
+}
+
+}  // namespace
+}  // namespace mmd::kmc

@@ -143,6 +143,14 @@ TEST(SlaveRates, DmaTrafficIsTiny) {
   EXPECT_GT(stats.get_ops, 0u);
   // Window + table staging only: well under a MB for 8 candidates.
   EXPECT_LT(stats.get_bytes, (1u << 20));
+  // The per-pass split accounts for the whole aggregate: every byte belongs
+  // to either the density pass or the pair pass.
+  const auto density = kernel.density_dma_stats();
+  const auto pair = kernel.pair_dma_stats();
+  EXPECT_GT(density.get_bytes, 0u);
+  EXPECT_GT(pair.get_bytes, 0u);
+  EXPECT_EQ(density.get_bytes + pair.get_bytes, stats.get_bytes);
+  EXPECT_EQ(density.get_ops + pair.get_ops, stats.total_ops());
 }
 
 }  // namespace
