@@ -1,0 +1,95 @@
+// sampled_campaign — sampled long-time mode vs all-detailed KMC at matched
+// MC coverage (docs/SAMPLING.md).
+//
+// Runs one two-job campaign: the same cascade scenario scheduled once with
+// every KMC cycle detailed and once in sampled mode (detailed windows + SCD
+// warming strides covering the same kmc.cycles target). Reports the campaign
+// wall time (the perf-smoke regression metric) plus the per-job walls, the
+// KMC-stage speedup the window/stride schedule buys, the detailed-event
+// reduction, and the confidence interval the estimator pays for it.
+//
+// Writes BENCH_sampled_campaign.json for tools/mmd_perf_diff.
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "harness.h"
+#include "serve/campaign.h"
+#include "serve/campaign_runner.h"
+#include "util/key_value.h"
+
+namespace {
+
+// 150 cycles split as (5 detailed + 45 coarse) periods: the sampled job runs
+// 15 detailed cycles for the same 150-cycle coverage, so the KMC stage is
+// where the schedule's ~10x event reduction must show up.
+constexpr const char* kPair =
+    "campaign.name = sampled_pair\n"
+    "campaign.max_concurrent = 1\n"
+    "box = 8\n"
+    "md.time_ps = 0.02\n"
+    "md.table_segments = 400\n"
+    "kmc.table_segments = 200\n"
+    "kmc.cycles = 150\n"
+    "sample.window = 5\n"
+    "sample.stride = 45\n"
+    "sample.replicates = 8\n"
+    "sweep.sample.mode = off,scd\n";
+
+mmd::serve::CampaignOutcome run_pair(int* run_counter) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("mmd_bench_sampled_" + std::to_string((*run_counter)++));
+  fs::remove_all(root);
+  mmd::serve::CampaignRunner::Options opt;
+  opt.root = root.string();
+  opt.max_concurrent = 1;
+  mmd::serve::CampaignRunner runner(
+      mmd::serve::CampaignSpec::parse(
+          mmd::util::KeyValueConfig::parse(kPair, "sampled_pair.mmd")),
+      opt);
+  auto outcome = runner.run();
+  fs::remove_all(root);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmd;
+  bench::BenchHarness::Options opt;
+  opt.warmup = 1;
+  opt.repeats = 5;
+  bench::BenchHarness h("sampled_campaign", opt);
+
+  int run_counter = 0;
+  serve::CampaignOutcome outcome;
+  h.time_call_ms("campaign_detailed_plus_sampled",
+                 [&] { outcome = run_pair(&run_counter); });
+
+  const serve::JobResult& detailed = outcome.jobs.at(0);  // sample.mode = off
+  const serve::JobResult& sampled = outcome.jobs.at(1);   // sample.mode = scd
+
+  h.add_value("detailed_job_ms", "ms", detailed.wall_seconds * 1e3);
+  h.add_value("sampled_job_ms", "ms", sampled.wall_seconds * 1e3);
+  h.add_value("kmc_stage_speedup", "x",
+              sampled.kmc_seconds > 0.0
+                  ? detailed.kmc_seconds / sampled.kmc_seconds
+                  : 0.0,
+              /*lower_is_better=*/false);
+  h.add_value("detailed_event_reduction", "x",
+              sampled.kmc_events > 0
+                  ? static_cast<double>(detailed.kmc_events) /
+                        static_cast<double>(sampled.kmc_events)
+                  : 0.0,
+              /*lower_is_better=*/false);
+  h.add_value("sampled_windows", "windows",
+              static_cast<double>(sampled.report.sampled.windows),
+              /*lower_is_better=*/false);
+  h.add_value("sampled_ci_halfwidth", "clusters",
+              sampled.report.sampled.ci_halfwidth);
+
+  return h.write();
+}

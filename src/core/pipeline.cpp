@@ -1,0 +1,256 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "io/checkpoint.h"
+#include "io/checkpoint_store.h"
+#include "kmc/engine.h"
+#include "kmc/scd.h"
+#include "md/engine.h"
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
+#include "util/rng.h"
+
+namespace mmd::core {
+
+namespace {
+
+/// Collective: write one checkpoint epoch (per-rank file, then a manifest
+/// commit on rank 0 once every rank's write landed). A failed write on any
+/// rank abandons the epoch — the run degrades to the previous good one
+/// instead of aborting. The META section carries the stage tag and the
+/// sampled-schedule position so a sampled run resumes mid-window.
+void save_checkpoint_epoch(comm::Comm& comm, io::CheckpointStore& store,
+                           const SimulationConfig& cfg, std::uint64_t epoch,
+                           md::MdEngine& md_engine, kmc::KmcEngine& kmc_engine,
+                           const StageState& state, const StageClock& clock) {
+  MMD_TRACE_SCOPE("sim.checkpoint");
+  util::Timer t;
+  std::ostringstream os;
+  io::Checkpoint::write_file_header(os);
+  io::Checkpoint::MetaState meta;
+  meta.rank = comm.rank();
+  meta.nranks = comm.size();
+  meta.seed = cfg.md.seed;
+  meta.md_time_ps = md_engine.simulated_time();
+  const kmc::KmcEngineState st = kmc_engine.engine_state();
+  meta.kmc_cycles = st.cycles;
+  meta.kmc_events = st.events;
+  meta.kmc_mc_time = st.mc_time;
+  meta.kmc_last_max_rate = st.last_max_rate;
+  meta.kmc_rng_state = st.rng_state;
+  meta.stage_tag = cfg.sampling.enabled() ? "sampling" : "kmc";
+  meta.sample_windows = state.sampled.windows;
+  meta.scd_time_s = clock.scd_time_s;
+  meta.sample_est_clusters = state.sampled.est_clusters;
+  meta.sample_ci_halfwidth = state.sampled.ci_halfwidth;
+  io::Checkpoint::write_meta_section(os, meta);
+  io::Checkpoint::write_md_section(os, md_engine.lattice(),
+                                   md_engine.simulated_time());
+  io::Checkpoint::write_kmc_section(os, kmc_engine.model(), st.mc_time);
+  const std::string blob = os.str();
+  const bool ok = store.write_rank_blob(epoch, comm.rank(), blob);
+  telemetry::count("ckpt.bytes", blob.size());
+  telemetry::observe("ckpt.write_seconds", t.elapsed());
+  const std::uint64_t failures = comm.allreduce_sum_u64(ok ? 0u : 1u);
+  if (failures == 0) {
+    if (comm.rank() == 0) {
+      if (store.commit_epoch(epoch)) {
+        telemetry::count("ckpt.epochs");
+      } else {
+        telemetry::count("ckpt.failed_epochs");
+      }
+    }
+  } else {
+    store.discard_rank_blob(epoch, comm.rank());
+    if (comm.rank() == 0) {
+      telemetry::count("ckpt.failed_epochs");
+      std::fprintf(stderr,
+                   "mmd: checkpoint epoch %llu failed on %llu rank(s); "
+                   "keeping the previous epoch\n",
+                   static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(failures));
+    }
+  }
+  comm.barrier();
+}
+
+}  // namespace
+
+StagePropagator& Pipeline::add(std::unique_ptr<StagePropagator> stage) {
+  stages_.push_back(std::move(stage));
+  return *stages_.back();
+}
+
+void Pipeline::run(comm::Comm& comm, StageState& state, StageClock& clock) {
+  reports_.clear();
+  for (auto& stage : stages_) {
+    StageReport r = stage->advance(comm, state, clock);
+    telemetry::set_gauge("stage." + r.stage + ".seconds", r.wall_seconds);
+    reports_.push_back(std::move(r));
+  }
+}
+
+// --- MdCascadeStage ---
+
+MdCascadeStage::MdCascadeStage(const SimulationConfig& cfg,
+                               std::uint64_t num_sites, md::MdEngine& md)
+    : cfg_(cfg), num_sites_(num_sites), md_(md) {}
+
+StageReport MdCascadeStage::advance(comm::Comm& comm, StageState& state,
+                                    StageClock& clock) {
+  util::Timer wall;
+  if (!state.restored) {
+    // --- MD stage: cascade-collision defect generation ---
+    MMD_TRACE_SCOPE("sim.md");
+    md_.initialize(comm);
+    if (cfg_.solute_fraction > 0.0) {
+      md_.seed_solutes(comm, cfg_.solute_fraction);
+    }
+    util::Rng rng(cfg_.md.seed ^ 0x7a3d5e9bull);
+    for (int p = 0; p < cfg_.pka_count; ++p) {
+      const auto site = static_cast<std::int64_t>(rng.uniform_index(num_sites_));
+      md_.inject_pka(comm, site, rng.unit_vector(), cfg_.pka_energy_ev);
+    }
+    md_.run_for(comm, cfg_.md_time_ps);
+  }
+  // A restored run skips the dynamics (the lattice was loaded) but still
+  // produces the census and the handoff from the frozen MD lattice.
+  state.md_defects = md_.defects(comm);
+  state.handoff = HandoffState::capture(md_);
+  clock.md_time_ps = md_.simulated_time();
+  telemetry::set_gauge("md.wall_seconds", wall.elapsed());
+  telemetry::set_gauge("md.compute_seconds", md_.computation_seconds());
+  telemetry::set_gauge("md.comm_seconds", md_.communication_seconds());
+  return {name(), wall.elapsed(), static_cast<std::uint64_t>(cfg_.pka_count)};
+}
+
+// --- KmcStage ---
+
+KmcStage::KmcStage(const SimulationConfig& cfg, kmc::KmcEngine& kmc,
+                   md::MdEngine& md, io::CheckpointStore* store)
+    : cfg_(cfg), kmc_(kmc), md_(md), store_(store) {}
+
+double KmcStage::mc_time() const { return kmc_.mc_time(); }
+
+std::vector<std::int64_t> KmcStage::gather_vacancies(comm::Comm& comm) const {
+  return kmc_.gather_vacancies(comm);
+}
+
+void KmcStage::begin(comm::Comm& comm, StageState& state) {
+  timer_.reset();
+  done_ = state.restored ? state.restored_cycles : 0;
+  if (!state.restored) {
+    state.handoff.apply(comm, kmc_);
+    state.vacancies_before = kmc_.gather_vacancies(comm);
+  } else {
+    // The restored sites already contain the handoff (vacancies AND any
+    // solute arrangement); reconstruct the pre-KMC vacancy census from
+    // the frozen MD lattice instead of the evolved KMC state.
+    state.vacancies_before = comm.gather_to<std::int64_t>(
+        0, state.handoff.vacancy_sites, comm::tags::kSimVacancyGather);
+    std::sort(state.vacancies_before.begin(), state.vacancies_before.end());
+  }
+}
+
+void KmcStage::run_detailed(comm::Comm& comm, StageState& state,
+                            StageClock& clock, std::uint64_t target) {
+  // Chunked run_cycles calls execute the identical cycle sequence, so
+  // checkpointing does not perturb the physics.
+  while (done_ < target) {
+    std::uint64_t chunk = target - done_;
+    if (store_ != nullptr && cfg_.checkpoint_every > 0) {
+      const auto every = static_cast<std::uint64_t>(cfg_.checkpoint_every);
+      chunk = std::min(chunk, every - done_ % every);
+    }
+    kmc_.run_cycles(comm, static_cast<int>(chunk));
+    done_ += chunk;
+    if (store_ != nullptr && cfg_.checkpoint_every > 0 &&
+        done_ % static_cast<std::uint64_t>(cfg_.checkpoint_every) == 0) {
+      save_checkpoint_epoch(comm, *store_, cfg_, done_, md_, kmc_, state,
+                            clock);
+    }
+  }
+}
+
+void KmcStage::finish(comm::Comm& comm, StageState& state, StageClock& clock) {
+  state.vacancies_after = kmc_.gather_vacancies(comm);
+  state.vacancy_concentration = kmc_.vacancy_concentration(comm);
+  clock.kmc_mc_time_s = kmc_.mc_time();
+  telemetry::set_gauge("kmc.wall_seconds", timer_.elapsed());
+  telemetry::set_gauge("kmc.compute_seconds", kmc_.computation_seconds());
+  telemetry::set_gauge("kmc.comm_seconds", kmc_.communication_seconds());
+}
+
+StageReport KmcStage::advance(comm::Comm& comm, StageState& state,
+                              StageClock& clock) {
+  MMD_TRACE_SCOPE("sim.kmc");
+  begin(comm, state);
+  run_detailed(comm, state, clock, static_cast<std::uint64_t>(cfg_.kmc_cycles));
+  finish(comm, state, clock);
+  return {name(), timer_.elapsed(), done_};
+}
+
+// --- SamplingScheduler ---
+
+SamplingScheduler::SamplingScheduler(const SimulationConfig& cfg,
+                                     std::unique_ptr<KmcStage> detailed,
+                                     std::unique_ptr<kmc::ScdStage> scd)
+    : cfg_(cfg), detailed_(std::move(detailed)), scd_(std::move(scd)) {}
+
+SamplingScheduler::~SamplingScheduler() = default;
+
+StageReport SamplingScheduler::advance(comm::Comm& comm, StageState& state,
+                                       StageClock& clock) {
+  MMD_TRACE_SCOPE("sim.kmc");
+  util::Timer wall;
+  const auto target = static_cast<std::uint64_t>(cfg_.kmc_cycles);
+  const auto window = static_cast<std::uint64_t>(cfg_.sampling.window);
+  const auto stride = static_cast<std::uint64_t>(cfg_.sampling.stride);
+  detailed_->begin(comm, state);
+  // Schedule position: `covered` counts detailed-equivalent cycles. On a
+  // mid-schedule resume state.sampled.windows and detailed_done() come from
+  // the checkpoint META, so the loop re-enters exactly where the interrupted
+  // run left off (strides never touch the lattice, so the detailed cycle
+  // sequence is the all-detailed run's prefix either way).
+  std::uint64_t windows = state.sampled.windows;
+  std::uint64_t covered = detailed_->detailed_done() + windows * stride;
+  while (covered < target) {
+    const std::uint64_t done = detailed_->detailed_done();
+    const bool stride_pending =
+        done > 0 && done % window == 0 && windows < done / window;
+    if (!stride_pending) {
+      // Detailed window (a partial one when resuming mid-window or when the
+      // coverage target lands inside it).
+      const std::uint64_t w =
+          std::min(window - done % window, target - covered);
+      detailed_->run_detailed(comm, state, clock, done + w);
+      covered += w;
+      continue;
+    }
+    // Warming stride: seed the SCD estimator from the current census and
+    // advance it by the stride's MC-time budget. The budget derives from the
+    // cumulative per-cycle MC time, which is a pure function of checkpointed
+    // engine state — a resumed schedule recomputes the identical budget.
+    const std::uint64_t stride_cov = std::min(stride, target - covered);
+    const double dt_cycle = detailed_->mc_time() / static_cast<double>(done);
+    state.vacancies_after = detailed_->gather_vacancies(comm);
+    scd_->set_window(windows, dt_cycle * static_cast<double>(stride_cov));
+    scd_->advance(comm, state, clock);
+    covered += stride_cov;
+    ++windows;
+    state.sampled.windows = windows;
+    if (comm.rank() == 0) {
+      telemetry::set_gauge("sample.windows", static_cast<double>(windows));
+    }
+  }
+  state.sampled.windows = windows;
+  state.sampled.replicates = cfg_.sampling.replicates;
+  detailed_->finish(comm, state, clock);
+  return {name(), wall.elapsed(), windows};
+}
+
+}  // namespace mmd::core

@@ -55,6 +55,18 @@ SimulationConfig scenario_from_kv(const util::KeyValueConfig& kv) {
   cfg.checkpoint_every =
       static_cast<int>(kv.get_int("checkpoint.every", 0));
   cfg.comm_trace = kv.get_string("comm.trace", "");
+  const std::string sample_mode = kv.get_string("sample.mode", "off");
+  if (sample_mode == "scd") {
+    cfg.sampling.mode = SamplingPolicy::Mode::Scd;
+  } else if (sample_mode != "off") {
+    throw std::invalid_argument("unknown sample.mode '" + sample_mode +
+                                "' (expected off | scd)");
+  }
+  cfg.sampling.window = static_cast<int>(kv.get_int("sample.window", 5));
+  cfg.sampling.stride = static_cast<int>(kv.get_int("sample.stride", 45));
+  cfg.sampling.replicates =
+      static_cast<int>(kv.get_int("sample.replicates", 8));
+  cfg.sampling.validate();
   return cfg;
 }
 
@@ -79,7 +91,11 @@ std::string scenario_defaults_text() {
       "md.simd       = auto     # auto | off (AVX2 kernels in the slave force path)\n"
       "checkpoint.dir   =       # optional: directory for per-rank checkpoints\n"
       "checkpoint.every = 0     # KMC cycles between epochs (0 = off)\n"
-      "comm.trace    =          # optional: comm flight-recorder trace file\n";
+      "comm.trace    =          # optional: comm flight-recorder trace file\n"
+      "sample.mode   = off      # off | scd (sampled long-time mode, docs/SAMPLING.md)\n"
+      "sample.window = 5        # detailed KMC cycles per measured window\n"
+      "sample.stride = 45       # coarse cycles covered by each SCD warming stride\n"
+      "sample.replicates = 8    # RNG-paired SCD replicates (CI from their variance)\n";
 }
 
 }  // namespace mmd::core

@@ -22,7 +22,9 @@ kmc::GhostStrategy parse_ghost_strategy(const std::string& s);
 ///   solute, accel (reference | slave), md.simd (auto | off),
 ///   checkpoint.dir, checkpoint.every,
 ///   comm.trace (comm flight-recorder output file; campaigns write it
-///   under the job's directory)
+///   under the job's directory),
+///   sample.mode (off | scd), sample.window, sample.stride,
+///   sample.replicates (sampled long-time mode, docs/SAMPLING.md)
 ///
 /// Every key consumed is marked known on `kv`, so callers can follow up with
 /// kv.reject_unknown_keys() after reading their own driver-level keys (xyz,

@@ -7,9 +7,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/pipeline.h"
 #include "io/checkpoint.h"
 #include "io/checkpoint_store.h"
+#include "kmc/clusters.h"
+#include "kmc/engine.h"
+#include "kmc/scd.h"
+#include "md/engine.h"
 #include "md/slave_force.h"
+#include "potential/eam.h"
 #include "sunway/slave_pool.h"
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
@@ -35,59 +41,6 @@ kmc::KmcConfig kmc_config_from(const SimulationConfig& cfg) {
   return k;
 }
 
-/// Collective: write one checkpoint epoch (per-rank file, then a manifest
-/// commit on rank 0 once every rank's write landed). A failed write on any
-/// rank abandons the epoch — the run degrades to the previous good one
-/// instead of aborting.
-void save_checkpoint_epoch(comm::Comm& comm, io::CheckpointStore& store,
-                           const SimulationConfig& cfg, std::uint64_t epoch,
-                           md::MdEngine& md_engine, kmc::KmcEngine& kmc_engine) {
-  MMD_TRACE_SCOPE("sim.checkpoint");
-  util::Timer t;
-  std::ostringstream os;
-  io::Checkpoint::write_file_header(os);
-  io::Checkpoint::MetaState meta;
-  meta.rank = comm.rank();
-  meta.nranks = comm.size();
-  meta.seed = cfg.md.seed;
-  meta.md_time_ps = md_engine.simulated_time();
-  const kmc::KmcEngineState st = kmc_engine.engine_state();
-  meta.kmc_cycles = st.cycles;
-  meta.kmc_events = st.events;
-  meta.kmc_mc_time = st.mc_time;
-  meta.kmc_last_max_rate = st.last_max_rate;
-  meta.kmc_rng_state = st.rng_state;
-  io::Checkpoint::write_meta_section(os, meta);
-  io::Checkpoint::write_md_section(os, md_engine.lattice(),
-                                   md_engine.simulated_time());
-  io::Checkpoint::write_kmc_section(os, kmc_engine.model(), st.mc_time);
-  const std::string blob = os.str();
-  const bool ok = store.write_rank_blob(epoch, comm.rank(), blob);
-  telemetry::count("ckpt.bytes", blob.size());
-  telemetry::observe("ckpt.write_seconds", t.elapsed());
-  const std::uint64_t failures = comm.allreduce_sum_u64(ok ? 0u : 1u);
-  if (failures == 0) {
-    if (comm.rank() == 0) {
-      if (store.commit_epoch(epoch)) {
-        telemetry::count("ckpt.epochs");
-      } else {
-        telemetry::count("ckpt.failed_epochs");
-      }
-    }
-  } else {
-    store.discard_rank_blob(epoch, comm.rank());
-    if (comm.rank() == 0) {
-      telemetry::count("ckpt.failed_epochs");
-      std::fprintf(stderr,
-                   "mmd: checkpoint epoch %llu failed on %llu rank(s); "
-                   "keeping the previous epoch\n",
-                   static_cast<unsigned long long>(epoch),
-                   static_cast<unsigned long long>(failures));
-    }
-  }
-  comm.barrier();
-}
-
 }  // namespace
 
 std::string to_string(const SimulationReport& r) {
@@ -105,6 +58,11 @@ std::string to_string(const SimulationReport& r) {
      << " clusters, mean size " << r.clusters_after_kmc.mean_size
      << ", max " << r.clusters_after_kmc.max_size << "\n";
   os << "Temporal scale: " << r.real_time_days << " days";
+  if (r.sampled.windows > 0) {
+    os << "\nSampled mode: " << r.sampled.windows << " windows, "
+       << r.sampled.replicates << " replicates, est. clusters "
+       << r.sampled.est_clusters << " +/- " << r.sampled.ci_halfwidth;
+  }
   return os.str();
 }
 
@@ -139,6 +97,7 @@ Simulation::Simulation(const SimulationConfig& cfg, SimulationAssets assets)
 }
 
 SimulationReport Simulation::run() {
+  cfg_.sampling.validate();
   SimulationReport report;
   std::mutex report_mutex;
 
@@ -193,8 +152,6 @@ SimulationReport Simulation::run() {
 
   comm::World world(cfg_.nranks);
   world.run([&](comm::Comm& comm) {
-    util::Timer wall;
-
     md::MdEngine md_engine(cfg_.md, md_setup.geo, md_setup.dd, *md_tables_,
                            comm.rank());
     kmc::KmcEngine kmc_engine(kmc_cfg, kmc_setup.geo, kmc_setup.dd, *kmc_tables_,
@@ -209,8 +166,9 @@ SimulationReport Simulation::run() {
 
     // --- resume: an epoch is adopted only when EVERY rank validates its
     // file; otherwise all ranks fall back to the next older epoch together.
-    bool restored = false;
-    std::uint64_t restored_cycles = 0;
+    StageState state;
+    StageClock clock;
+    const char* expected_tag = cfg_.sampling.enabled() ? "sampling" : "kmc";
     for (const std::uint64_t epoch : resume_epochs) {
       io::Checkpoint::MetaState meta;
       bool ok = true;
@@ -222,7 +180,7 @@ SimulationReport Simulation::run() {
         io::Checkpoint::read_file_header(is);
         meta = io::Checkpoint::read_meta_section(is);
         if (meta.rank != comm.rank() || meta.nranks != comm.size() ||
-            meta.seed != cfg_.md.seed) {
+            meta.seed != cfg_.md.seed || meta.stage_tag != expected_tag) {
           throw std::runtime_error(
               "checkpoint was written by a different run configuration");
         }
@@ -246,8 +204,14 @@ SimulationReport Simulation::run() {
         // resumed run reports the same totals as an uninterrupted one.
         if (meta.kmc_events > 0) telemetry::count("kmc.events", meta.kmc_events);
         telemetry::count("ckpt.resumed_ranks");
-        restored = true;
-        restored_cycles = meta.kmc_cycles;
+        state.restored = true;
+        state.restored_cycles = meta.kmc_cycles;
+        // Sampled-schedule position: the scheduler re-enters the window/
+        // stride loop exactly where the interrupted run left off.
+        state.sampled.windows = meta.sample_windows;
+        state.sampled.est_clusters = meta.sample_est_clusters;
+        state.sampled.ci_halfwidth = meta.sample_ci_halfwidth;
+        clock.scd_time_s = meta.scd_time_s;
         break;
       }
       telemetry::count("ckpt.load_fallbacks");
@@ -259,115 +223,54 @@ SimulationReport Simulation::run() {
                      error.c_str());
       }
     }
-
-    if (!restored) {
-      if (!resume_epochs.empty()) {
-        // A partially-applied failed load must not leak into a fresh run.
-        for (std::size_t i = 0; i < kmc_engine.model().size(); ++i) {
-          kmc_engine.model().set_state(i, kmc::SiteState::Fe);
-        }
+    if (!state.restored && !resume_epochs.empty()) {
+      // A partially-applied failed load must not leak into a fresh run.
+      for (std::size_t i = 0; i < kmc_engine.model().size(); ++i) {
+        kmc_engine.model().set_state(i, kmc::SiteState::Fe);
       }
-      // --- MD stage: cascade-collision defect generation ---
-      MMD_TRACE_SCOPE("sim.md");
-      md_engine.initialize(comm);
-      if (cfg_.solute_fraction > 0.0) {
-        md_engine.seed_solutes(comm, cfg_.solute_fraction);
-      }
-      util::Rng rng(cfg_.md.seed ^ 0x7a3d5e9bull);
-      for (int p = 0; p < cfg_.pka_count; ++p) {
-        const auto site = static_cast<std::int64_t>(rng.uniform_index(
-            static_cast<std::uint64_t>(md_setup.geo.num_sites())));
-        md_engine.inject_pka(comm, site, rng.unit_vector(), cfg_.pka_energy_ev);
-      }
-      md_engine.run_for(comm, cfg_.md_time_ps);
     }
-    const auto defects = md_engine.defects(comm);
-    telemetry::set_gauge("md.wall_seconds", wall.elapsed());
-    telemetry::set_gauge("md.compute_seconds", md_engine.computation_seconds());
-    telemetry::set_gauge("md.comm_seconds", md_engine.communication_seconds());
-
-    // --- handoff: vacancy coordinates (and, for alloys, the solute
-    // arrangement) become KMC sites ---
-    std::vector<std::int64_t> vac_sites;
-    for (const auto& v : md_engine.vacancies()) vac_sites.push_back(v.site_rank);
-
-    // --- KMC stage: vacancy clustering and evolution ---
-    wall.reset();
-    std::vector<std::int64_t> before;
-    std::vector<std::int64_t> after;
-    {
-      MMD_TRACE_SCOPE("sim.kmc");
-      if (!restored) {
-        if (cfg_.solute_fraction > 0.0) {
-          // Carry the Cu arrangement over: on-lattice mapping of each Cu atom
-          // (displaced atoms map to their nearest lattice site).
-          auto& lnl = md_engine.lattice();
-          for (std::size_t idx : lnl.owned_indices()) {
-            const lat::AtomEntry& e = lnl.entry(idx);
-            if (e.is_atom() && e.type == lat::Species::Cu) {
-              kmc_engine.model().set_state_global(lnl.site_rank(idx),
-                                                  kmc::SiteState::Cu);
-            }
-          }
-          lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
-            const lat::RunawayAtom& a = lnl.runaway(ri);
-            if (a.type == lat::Species::Cu) {
-              const std::size_t host = lnl.nearest_owned_entry(a.r);
-              kmc_engine.model().set_state_global(lnl.site_rank(host),
-                                                  kmc::SiteState::Cu);
-            }
-          });
-        }
-        kmc_engine.initialize_sites(comm, vac_sites);
-        before = kmc_engine.gather_vacancies(comm);
-      } else {
-        // The restored sites already contain the handoff (vacancies AND any
-        // solute arrangement); reconstruct the pre-KMC vacancy census from
-        // the frozen MD lattice instead of the evolved KMC state.
-        before = comm.gather_to<std::int64_t>(0, vac_sites,
-                                              comm::tags::kSimVacancyGather);
-        std::sort(before.begin(), before.end());
-      }
-      // Advance to cfg_.kmc_cycles, checkpointing at every epoch boundary.
-      // Chunked run_cycles calls execute the identical cycle sequence, so
-      // checkpointing does not perturb the physics.
-      const int total = cfg_.kmc_cycles;
-      int done = static_cast<int>(restored_cycles);
-      while (done < total) {
-        int chunk = total - done;
-        if (store != nullptr && cfg_.checkpoint_every > 0) {
-          chunk = std::min(chunk,
-                           cfg_.checkpoint_every - done % cfg_.checkpoint_every);
-        }
-        kmc_engine.run_cycles(comm, chunk);
-        done += chunk;
-        if (store != nullptr && cfg_.checkpoint_every > 0 &&
-            done % cfg_.checkpoint_every == 0) {
-          save_checkpoint_epoch(comm, *store, cfg_,
-                                static_cast<std::uint64_t>(done), md_engine,
-                                kmc_engine);
-        }
-      }
-      after = kmc_engine.gather_vacancies(comm);
+    if (state.restored && cfg_.sampling.enabled()) {
+      state.sampled.replicates = cfg_.sampling.replicates;
     }
-    const double c_mc = kmc_engine.vacancy_concentration(comm);
-    telemetry::set_gauge("kmc.wall_seconds", wall.elapsed());
-    telemetry::set_gauge("kmc.compute_seconds", kmc_engine.computation_seconds());
-    telemetry::set_gauge("kmc.comm_seconds", kmc_engine.communication_seconds());
+
+    // --- the stage pipeline: MD cascade, then either the all-detailed KMC
+    // stage or the sampled window/stride scheduler ---
+    Pipeline pipeline;
+    pipeline.add(std::make_unique<MdCascadeStage>(
+        cfg_, static_cast<std::uint64_t>(md_setup.geo.num_sites()), md_engine));
+    auto kmc_stage = std::make_unique<KmcStage>(cfg_, kmc_engine, md_engine,
+                                                store.get());
+    if (cfg_.sampling.enabled()) {
+      auto scd = std::make_unique<kmc::ScdStage>(
+          kmc_setup.geo,
+          kmc::ScdParams::from(
+              kmc_cfg, static_cast<std::uint64_t>(kmc_setup.geo.num_sites())),
+          cfg_.sampling.replicates, cfg_.md.seed);
+      pipeline.add(std::make_unique<SamplingScheduler>(
+          cfg_, std::move(kmc_stage), std::move(scd)));
+    } else {
+      pipeline.add(std::move(kmc_stage));
+    }
+    pipeline.run(comm, state, clock);
 
     if (comm.rank() == 0) {
       std::lock_guard lk(report_mutex);
-      report.md_defects = defects;
-      report.clusters_after_md = kmc::cluster_vacancies(kmc_setup.geo, before);
-      report.clusters_after_kmc = kmc::cluster_vacancies(kmc_setup.geo, after);
-      report.kmc_mc_time = kmc_engine.mc_time();
-      report.vacancy_concentration = c_mc;
+      report.md_defects = state.md_defects;
+      report.clusters_after_md =
+          kmc::cluster_vacancies(kmc_setup.geo, state.vacancies_before);
+      report.clusters_after_kmc =
+          kmc::cluster_vacancies(kmc_setup.geo, state.vacancies_after);
+      report.kmc_mc_time = clock.total_mc_time_s();
+      report.vacancy_concentration = state.vacancy_concentration;
       report.real_time_days =
-          kmc::real_time_scale(kmc_engine.mc_time(), c_mc, kmc_cfg.temperature) /
+          kmc::real_time_scale(clock.total_mc_time_s(),
+                               state.vacancy_concentration,
+                               kmc_cfg.temperature) /
           86400.0;
-      report.final_vacancies = after;
-      report.resumed = restored;
-      report.resumed_from_cycle = restored_cycles;
+      report.final_vacancies = state.vacancies_after;
+      report.resumed = state.restored;
+      report.resumed_from_cycle = state.restored_cycles;
+      report.sampled = state.sampled;
     }
   });
 

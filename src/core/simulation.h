@@ -3,13 +3,19 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "kmc/clusters.h"
-#include "kmc/engine.h"
-#include "md/engine.h"
+#include "core/stage.h"
+#include "kmc/cluster_stats.h"
+#include "kmc/ghost_strategy.h"
+#include "md/config.h"
+#include "md/defects.h"
 
 namespace mmd::io {
 class FaultInjector;
+}
+namespace mmd::pot {
+struct EamTableSet;
 }
 namespace mmd::sw {
 class SlaveCorePool;
@@ -43,6 +49,13 @@ struct SimulationConfig {
   bool kmc_incremental = true;
   /// Per-event stderr logging (scenario key `kmc.debug_events`).
   bool kmc_debug_events = false;
+
+  // --- sampled long-time mode (scenario keys `sample.*`, docs/SAMPLING.md) ---
+  /// Off runs every KMC cycle detailed (the default pipeline, byte-identical
+  /// to pre-pipeline builds); Scd alternates detailed measurement windows
+  /// with stochastic-cluster-dynamics warming strides, trading exactness for
+  /// a defect estimate with replicate-derived confidence intervals.
+  SamplingPolicy sampling;
 
   // --- fault-tolerant checkpoint/restart (docs/CHECKPOINTING.md) ---
   /// KMC cycles between checkpoint epochs (0 disables periodic saving).
@@ -115,6 +128,10 @@ struct SimulationReport {
   /// byte-identical to an uninterrupted one (restart equivalence).
   bool resumed = false;
   std::uint64_t resumed_from_cycle = 0;
+  /// Sampled-mode estimate (windows == 0 on an all-detailed run, and the
+  /// sampled lines are then absent from to_string() — default-mode output
+  /// stays byte-identical to pre-pipeline builds).
+  SampledStats sampled;
 };
 
 std::string to_string(const SimulationReport& r);

@@ -1,0 +1,58 @@
+#include "core/stage.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "kmc/engine.h"
+#include "md/engine.h"
+
+namespace mmd::core {
+
+void SamplingPolicy::validate() const {
+  if (!enabled()) return;
+  if (window < 1) {
+    throw std::invalid_argument("sample.window must be >= 1 (got " +
+                                std::to_string(window) + ")");
+  }
+  if (stride < 1) {
+    throw std::invalid_argument("sample.stride must be >= 1 (got " +
+                                std::to_string(stride) + ")");
+  }
+  if (replicates < 2) {
+    throw std::invalid_argument(
+        "sample.replicates must be >= 2 (the confidence interval comes from "
+        "the replicate variance); got " +
+        std::to_string(replicates));
+  }
+}
+
+HandoffState HandoffState::capture(const md::MdEngine& md) {
+  HandoffState h;
+  for (const auto& v : md.vacancies()) h.vacancy_sites.push_back(v.site_rank);
+  // Carry the Cu arrangement over: on-lattice mapping of each Cu atom
+  // (displaced atoms map to their nearest lattice site).
+  const lat::LatticeNeighborList& lnl = md.lattice();
+  for (std::size_t idx : lnl.owned_indices()) {
+    const lat::AtomEntry& e = lnl.entry(idx);
+    if (e.is_atom() && e.type == lat::Species::Cu) {
+      h.solute_sites.push_back(lnl.site_rank(idx));
+    }
+  }
+  lnl.for_each_owned_runaway([&](std::int32_t ri, std::size_t) {
+    const lat::RunawayAtom& a = lnl.runaway(ri);
+    if (a.type == lat::Species::Cu) {
+      const std::size_t host = lnl.nearest_owned_entry(a.r);
+      h.solute_sites.push_back(lnl.site_rank(host));
+    }
+  });
+  return h;
+}
+
+void HandoffState::apply(comm::Comm& comm, kmc::KmcEngine& kmc) const {
+  for (const std::int64_t gid : solute_sites) {
+    kmc.model().set_state_global(gid, kmc::SiteState::Cu);
+  }
+  kmc.initialize_sites(comm, vacancy_sites);
+}
+
+}  // namespace mmd::core

@@ -141,8 +141,14 @@ void Checkpoint::read_file_header(std::istream& is) {
   if (version == 1) {
     throw std::runtime_error(
         "Checkpoint: file is format version 1 (raw structs, no CRC). This "
-        "build reads only version 2 — re-generate the checkpoint from a "
+        "build reads only version 3 — re-generate the checkpoint from a "
         "fresh run; v1 files cannot be verified for integrity.");
+  }
+  if (version == 2) {
+    throw std::runtime_error(
+        "Checkpoint: file is format version 2 (no stage-schedule META). This "
+        "build reads only version 3 — re-generate the checkpoint from a "
+        "fresh run; a v2 epoch cannot position the stage pipeline.");
   }
   if (version != kVersion) {
     throw std::runtime_error("Checkpoint: unsupported format version " +
@@ -304,6 +310,14 @@ void Checkpoint::write_meta_section(std::ostream& os, const MetaState& meta) {
   w.put_f64(meta.kmc_mc_time);
   w.put_f64(meta.kmc_last_max_rate);
   w.put_u64(meta.kmc_rng_state);
+  w.put_u32(static_cast<std::uint32_t>(meta.stage_tag.size()));
+  for (const char c : meta.stage_tag) {
+    w.put_u8(static_cast<std::uint8_t>(c));
+  }
+  w.put_u64(meta.sample_windows);
+  w.put_f64(meta.scd_time_s);
+  w.put_f64(meta.sample_est_clusters);
+  w.put_f64(meta.sample_ci_halfwidth);
   write_section(os, kKindMeta, w.str());
 }
 
@@ -320,6 +334,19 @@ Checkpoint::MetaState Checkpoint::read_meta_section(std::istream& is) {
   meta.kmc_mc_time = r.get_f64();
   meta.kmc_last_max_rate = r.get_f64();
   meta.kmc_rng_state = r.get_u64();
+  const std::uint32_t tag_len = r.get_u32();
+  if (tag_len > 64) {
+    throw std::runtime_error("Checkpoint: implausible stage tag length " +
+                             std::to_string(tag_len));
+  }
+  meta.stage_tag.clear();
+  for (std::uint32_t i = 0; i < tag_len; ++i) {
+    meta.stage_tag.push_back(static_cast<char>(r.get_u8()));
+  }
+  meta.sample_windows = r.get_u64();
+  meta.scd_time_s = r.get_f64();
+  meta.sample_est_clusters = r.get_f64();
+  meta.sample_ci_halfwidth = r.get_f64();
   return meta;
 }
 

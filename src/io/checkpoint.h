@@ -15,7 +15,7 @@ namespace mmd::io {
 /// owned site states; a META section captures the coupled-pipeline clocks,
 /// cycle/event counters, and RNG state that restart equivalence depends on.
 ///
-/// Format v2 (see docs/CHECKPOINTING.md):
+/// Format v3 (see docs/CHECKPOINTING.md):
 ///   file    := magic u32 | version u32 | section*
 ///   section := kind u32 | payload_len u64 | crc32(payload) u32 | payload
 ///
@@ -31,7 +31,7 @@ namespace mmd::io {
 class Checkpoint {
  public:
   static constexpr std::uint32_t kMagic = 0x4d4d4443;  // "MMDC"
-  static constexpr std::uint32_t kVersion = 2;
+  static constexpr std::uint32_t kVersion = 3;
 
   enum Kind : std::uint32_t {
     kKindMd = 1,
@@ -51,6 +51,16 @@ class Checkpoint {
     double kmc_mc_time = 0.0;           ///< MC clock [s]
     double kmc_last_max_rate = 0.0;     ///< seeds the next cycle's dt sync
     std::uint64_t kmc_rng_state = 0;    ///< generator state, not the seed
+    // --- v3: stage-pipeline schedule position (docs/SAMPLING.md) ---
+    /// Which KMC-side propagator wrote the epoch ("kmc" for the all-detailed
+    /// pipeline, "sampling" for the sampled window/stride scheduler);
+    /// cross-checked at load so a sampled checkpoint never resumes under a
+    /// different schedule.
+    std::string stage_tag = "kmc";
+    std::uint64_t sample_windows = 0;   ///< warming strides completed
+    double scd_time_s = 0.0;            ///< MC time covered by SCD warming
+    double sample_est_clusters = 0.0;   ///< last stride's replicate mean
+    double sample_ci_halfwidth = 0.0;   ///< ... and its 95% CI halfwidth
   };
 
   // --- whole-file convenience (one header + one section) ---

@@ -4,25 +4,10 @@
 #include <span>
 #include <vector>
 
+#include "kmc/cluster_stats.h"
 #include "lattice/geometry.h"
-#include "util/stats.h"
 
 namespace mmd::kmc {
-
-/// Vacancy-cluster census: connected components of vacancy sites under
-/// first-nearest-neighbor BCC adjacency. This quantifies the clustering the
-/// paper demonstrates visually in Fig. 17 (dispersed after MD, aggregated
-/// after KMC): clustering shows up as a growing mean/max cluster size and a
-/// shrinking cluster count.
-struct ClusterStats {
-  std::uint64_t num_vacancies = 0;
-  std::uint64_t num_clusters = 0;
-  double mean_size = 0.0;
-  std::uint64_t max_size = 0;
-  /// Fraction of vacancies that have at least one vacancy 1NN.
-  double clustered_fraction = 0.0;
-  util::Histogram size_histogram;
-};
 
 /// Cluster the given global vacancy site ranks (typically the gather of all
 /// ranks' vacancies) on the given lattice. O(N) with hashing.

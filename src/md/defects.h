@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/vec3.h"
+
+namespace mmd::md {
+
+/// Defect census of the whole box (allreduced).
+struct DefectSummary {
+  std::uint64_t atoms = 0;
+  std::uint64_t vacancies = 0;
+  std::uint64_t interstitials = 0;  ///< live run-away atoms
+};
+
+/// One owned vacancy, as handed to the KMC stage (paper: "MD outputs the
+/// coordinates of vacancy and the information of atoms").
+struct VacancyRecord {
+  std::int64_t site_rank = 0;
+  util::Vec3 position;
+};
+
+}  // namespace mmd::md

@@ -9,6 +9,7 @@
 #include "lattice/ghost_exchange.h"
 #include "lattice/lattice_neighbor_list.h"
 #include "md/config.h"
+#include "md/defects.h"
 #include "md/reference_force.h"
 #include "potential/eam.h"
 #include "util/rng.h"
@@ -17,20 +18,6 @@
 namespace mmd::md {
 
 class SlaveForceCompute;  // slave-core accelerated kernels (slave_force.h)
-
-/// Defect census of the whole box (allreduced).
-struct DefectSummary {
-  std::uint64_t atoms = 0;
-  std::uint64_t vacancies = 0;
-  std::uint64_t interstitials = 0;  ///< live run-away atoms
-};
-
-/// One owned vacancy, as handed to the KMC stage (paper: "MD outputs the
-/// coordinates of vacancy and the information of atoms").
-struct VacancyRecord {
-  std::int64_t site_rank = 0;
-  util::Vec3 position;
-};
 
 /// Extra margin added to the EAM cutoff when building the neighbor-offset
 /// tables, so thermally displaced atoms are still found by the static

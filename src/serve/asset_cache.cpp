@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "potential/eam.h"
+
 namespace mmd::serve {
 
 core::SimulationAssets AssetCache::assets_for(const core::SimulationConfig& cfg) {

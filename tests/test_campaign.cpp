@@ -203,6 +203,36 @@ TEST(CampaignRunner, FailedJobDoesNotTakeDownTheFleet) {
   EXPECT_TRUE(fs::exists(fs::path(opt.root) / "j001" / "result.mmd"));
 }
 
+TEST(CampaignRunner, SweepsSampledModeAlongsideDetailed) {
+  serve::CampaignRunner::Options opt;
+  opt.root = fresh_dir("sampled_sweep");
+  // One campaign, two schedules of the same scenario: all-detailed KMC next
+  // to the sampled window/stride mode (docs/SAMPLING.md).
+  serve::CampaignRunner runner(
+      serve::CampaignSpec::parse(util::KeyValueConfig::parse(
+          "box = 6\nmd.time_ps = 0.02\n"
+          "md.table_segments = 400\nkmc.table_segments = 200\n"
+          "kmc.cycles = 24\nsample.window = 3\nsample.stride = 9\n"
+          "sample.replicates = 4\n"
+          "sweep.sample.mode = off,scd\n")),
+      opt);
+  const auto outcome = runner.run();
+  EXPECT_TRUE(outcome.complete);
+  ASSERT_EQ(outcome.jobs.size(), 2u);
+  const auto& detailed = outcome.jobs[0];
+  const auto& sampled = outcome.jobs[1];
+  EXPECT_TRUE(detailed.error.empty()) << detailed.error;
+  EXPECT_TRUE(sampled.error.empty()) << sampled.error;
+  // Schedule: 24 cycles in (3 detailed + 9 coarse) periods -> 2 windows.
+  EXPECT_EQ(detailed.report.sampled.windows, 0u);
+  EXPECT_EQ(sampled.report.sampled.windows, 2u);
+  // Only the windows run detailed KMC, so the sampled job executes far
+  // fewer detailed events than its all-detailed twin.
+  EXPECT_LT(sampled.kmc_events, detailed.kmc_events);
+  EXPECT_NE(core::to_string(sampled.report).find("Sampled mode"),
+            std::string::npos);
+}
+
 TEST(CampaignRunner, SingleLaneRunsHigherPriorityFirst) {
   serve::CampaignRunner::Options opt;
   opt.root = fresh_dir("priority");

@@ -17,6 +17,58 @@ TEST(Scenario, MdSimdKeyParsesAutoAndOff) {
   EXPECT_THROW(parse("box = 6\nmd.simd = on\n"), std::invalid_argument);
 }
 
+TEST(Scenario, SampleKeysParseWithDefaults) {
+  const auto parse = [](const std::string& text) {
+    return scenario_from_kv(util::KeyValueConfig::parse(text));
+  };
+  const auto off = parse("box = 6\n");
+  EXPECT_EQ(off.sampling.mode, SamplingPolicy::Mode::Off);
+  EXPECT_FALSE(off.sampling.enabled());
+  EXPECT_EQ(off.sampling.window, 5);
+  EXPECT_EQ(off.sampling.stride, 45);
+  EXPECT_EQ(off.sampling.replicates, 8);
+
+  const auto scd = parse(
+      "box = 6\nsample.mode = scd\nsample.window = 3\n"
+      "sample.stride = 21\nsample.replicates = 16\n");
+  EXPECT_EQ(scd.sampling.mode, SamplingPolicy::Mode::Scd);
+  EXPECT_TRUE(scd.sampling.enabled());
+  EXPECT_EQ(scd.sampling.window, 3);
+  EXPECT_EQ(scd.sampling.stride, 21);
+  EXPECT_EQ(scd.sampling.replicates, 16);
+}
+
+TEST(Scenario, SampleKeysRejectInvalidValues) {
+  const auto parse = [](const std::string& text) {
+    return scenario_from_kv(util::KeyValueConfig::parse(text));
+  };
+  EXPECT_THROW(parse("box = 6\nsample.mode = fast\n"), std::invalid_argument);
+  EXPECT_THROW(parse("box = 6\nsample.mode = scd\nsample.window = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("box = 6\nsample.mode = scd\nsample.stride = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("box = 6\nsample.mode = scd\nsample.replicates = 1\n"),
+               std::invalid_argument);
+  // Off mode skips the schedule validation: the values are inert.
+  EXPECT_NO_THROW(parse("box = 6\nsample.window = 0\n"));
+}
+
+TEST(Scenario, SampleKeyTypoIsAttributedToFileAndLine) {
+  // A misspelled sample key must not silently fall through to the default:
+  // reject_unknown_keys() names the offending source line.
+  auto kv = util::KeyValueConfig::parse(
+      "box = 6\nsample.windw = 3\nsample.mode = scd\n", "scn.mmd");
+  scenario_from_kv(kv);  // consumes every recognized key
+  try {
+    kv.reject_unknown_keys();
+    FAIL() << "expected reject_unknown_keys to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("scn.mmd:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sample.windw"), std::string::npos) << msg;
+  }
+}
+
 SimulationConfig tiny_config() {
   SimulationConfig cfg;
   cfg.md.nx = cfg.md.ny = cfg.md.nz = 8;

@@ -1,0 +1,222 @@
+// Sanity suite for the stochastic-cluster-dynamics estimator of the sampled
+// long-time mode (kmc::ScdModel / kmc::ScdStage, docs/SAMPLING.md):
+//   - every SCD event moves whole vacancies between size classes, so the
+//     total vacancy count is conserved exactly through any trajectory,
+//   - the capillarity binding interpolation hits its divacancy and bulk
+//     anchors and grows monotonically,
+//   - the reported 95% CI halfwidth is exactly 1.96*sd/sqrt(R) over the
+//     replicate estimates and shrinks as replicates grow (~1/sqrt(R)),
+//   - save()/restore() makes replicates differ only by their RNG streams,
+//   - the stage is deterministic for a fixed (seed, window, replicates).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "comm/world.h"
+#include "kmc/cluster_stats.h"
+#include "kmc/model.h"
+#include "kmc/scd.h"
+#include "lattice/geometry.h"
+#include "util/rng.h"
+
+namespace mmd::kmc {
+namespace {
+
+ScdParams tiny_params() {
+  ScdParams p;
+  p.prefactor = 1e13;
+  p.migration_barrier_ev = 0.7;
+  p.temperature_k = 600.0;
+  p.sites = 2 * 8 * 8 * 8;
+  return p;
+}
+
+/// MC-time budget that lands the 20-vacancy census mid-coalescence at 600 K,
+/// so replicate outcomes genuinely vary (full coalescence would collapse
+/// every replicate to one cluster and zero the CI).
+constexpr double kMidCoalescenceBudgetS = 1.0e-5;
+
+/// A synthetic census: 20 monovacancies, 4 dimers, 2 size-5 voids.
+ClusterStats synthetic_census() {
+  ClusterStats census;
+  census.size_histogram.add(1, 20);
+  census.size_histogram.add(2, 4);
+  census.size_histogram.add(5, 2);
+  census.num_vacancies = 20 + 8 + 10;
+  census.num_clusters = 26;
+  return census;
+}
+
+TEST(ScdModel, SeedReproducesCensusPopulations) {
+  ScdModel model(tiny_params());
+  model.seed(synthetic_census());
+  EXPECT_EQ(model.population()[1], 20u);
+  EXPECT_EQ(model.population()[2], 4u);
+  EXPECT_EQ(model.population()[5], 2u);
+  EXPECT_EQ(model.total_vacancies(), 38u);
+  EXPECT_EQ(model.cluster_count(), 26u);
+}
+
+TEST(ScdModel, ConservesVacanciesThroughLongTrajectories) {
+  ScdModel model(tiny_params());
+  model.seed(synthetic_census());
+  const std::uint64_t total = model.total_vacancies();
+  util::Rng rng(1234);
+  for (int leg = 0; leg < 8; ++leg) {
+    const std::uint64_t events = model.advance(1.0e-3, rng, 5000);
+    EXPECT_EQ(model.total_vacancies(), total)
+        << "conservation broken after leg " << leg << " (" << events
+        << " events)";
+  }
+}
+
+TEST(ScdModel, BindingEnergyHitsAnchorsAndGrowsWithSize) {
+  ScdParams p = tiny_params();
+  p.binding_dimer_ev = 0.2;
+  p.binding_bulk_ev = 1.86;
+  ScdModel model(p);
+  EXPECT_DOUBLE_EQ(model.binding_ev(2), 0.2);  // divacancy anchor
+  double prev = model.binding_ev(2);
+  for (std::uint64_t s = 3; s <= 64; ++s) {
+    const double b = model.binding_ev(s);
+    EXPECT_GT(b, prev) << "binding not monotone at s=" << s;
+    prev = b;
+  }
+  // Large clusters approach the bulk detachment limit from below; the
+  // capillarity term decays like s^(-1/3), so the gap closes slowly.
+  EXPECT_NEAR(model.binding_ev(1000000000), p.binding_bulk_ev, 1e-2);
+  EXPECT_LT(model.binding_ev(1000000000), p.binding_bulk_ev);
+}
+
+TEST(ScdModel, SaveRestoreReplaysIdenticalTrajectories) {
+  ScdModel model(tiny_params());
+  model.seed(synthetic_census());
+  const auto seed_pop = model.save();
+
+  util::Rng rng_a(77);
+  model.advance(1.0e-3, rng_a);
+  const auto traj_a = model.population();
+
+  model.restore(seed_pop);
+  util::Rng rng_b(77);
+  model.advance(1.0e-3, rng_b);
+  EXPECT_EQ(model.population(), traj_a);
+
+  // A different stream diverges (same start, different draws).
+  model.restore(seed_pop);
+  util::Rng rng_c(78);
+  model.advance(1.0e-3, rng_c);
+  EXPECT_NE(model.population(), traj_a);
+}
+
+TEST(ScdModel, DimerizationConsumesMonovacancies) {
+  // Monovacancies only at 300 K: emission is suppressed by the extra binding
+  // barrier, so the trajectory is dominated by dimerizations, each consuming
+  // two monovacancies into one dimer.
+  ScdParams p = tiny_params();
+  p.temperature_k = 300.0;
+  ScdModel model(p);
+  ClusterStats census;
+  census.size_histogram.add(1, 10);
+  model.seed(census);
+  util::Rng rng(5);
+  const std::uint64_t events = model.advance(10.0, rng, 3);
+  EXPECT_GT(events, 0u);
+  EXPECT_LT(model.population()[1], 10u);
+  EXPECT_GE(model.population()[2], 1u);
+  EXPECT_EQ(model.total_vacancies(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+
+/// Synthetic vacancy census for ScdStage: 20 scattered site ids (the stride
+/// keeps them out of 1NN range, so the census is 20 monovacancies).
+core::StageState scattered_vacancies() {
+  core::StageState state;
+  for (std::int64_t gid = 0; gid < 20; ++gid) {
+    state.vacancies_after.push_back(gid * 37 + 11);
+  }
+  return state;
+}
+
+TEST(ScdStage, CiHalfwidthMatchesReplicateVarianceExactly) {
+  const lat::BccGeometry geo(8, 8, 8, 2.855);
+  ScdParams params = tiny_params();
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    ScdStage stage(geo, params, 8, /*seed=*/42);
+    stage.set_window(0, kMidCoalescenceBudgetS);
+    core::StageState state = scattered_vacancies();
+    core::StageClock clock;
+    stage.advance(comm, state, clock);
+
+    ASSERT_EQ(state.sampled.replicate_estimates.size(), 8u);
+    double mean = 0.0;
+    for (const double x : state.sampled.replicate_estimates) mean += x;
+    mean /= 8.0;
+    double var = 0.0;
+    for (const double x : state.sampled.replicate_estimates) {
+      var += (x - mean) * (x - mean);
+    }
+    var /= 7.0;  // sample variance, matching RunningStats::variance()
+    EXPECT_NEAR(state.sampled.est_clusters, mean, 1e-9);
+    EXPECT_NEAR(state.sampled.ci_halfwidth, 1.96 * std::sqrt(var / 8.0), 1e-9);
+    EXPECT_DOUBLE_EQ(clock.scd_time_s, kMidCoalescenceBudgetS);
+  });
+}
+
+TEST(ScdStage, CiHalfwidthShrinksWithMoreReplicates) {
+  const lat::BccGeometry geo(8, 8, 8, 2.855);
+  ScdParams params = tiny_params();
+  comm::World world(1);
+  double ci_few = 0.0;
+  double ci_many = 0.0;
+  world.run([&](comm::Comm& comm) {
+    {
+      ScdStage stage(geo, params, 8, 42);
+      stage.set_window(0, kMidCoalescenceBudgetS);
+      core::StageState state = scattered_vacancies();
+      core::StageClock clock;
+      stage.advance(comm, state, clock);
+      ci_few = state.sampled.ci_halfwidth;
+    }
+    {
+      ScdStage stage(geo, params, 64, 42);
+      stage.set_window(0, kMidCoalescenceBudgetS);
+      core::StageState state = scattered_vacancies();
+      core::StageClock clock;
+      stage.advance(comm, state, clock);
+      ci_many = state.sampled.ci_halfwidth;
+    }
+  });
+  // sd stabilizes while 1/sqrt(R) drops ~2.8x; allow generous slack for the
+  // sd estimate itself moving between replicate counts.
+  ASSERT_GT(ci_few, 0.0);
+  EXPECT_LT(ci_many, ci_few);
+  EXPECT_LT(ci_many, 0.6 * ci_few);
+}
+
+TEST(ScdStage, DeterministicAcrossRuns) {
+  const lat::BccGeometry geo(8, 8, 8, 2.855);
+  ScdParams params = tiny_params();
+  comm::World world(1);
+  double est_a = 0.0, ci_a = 0.0, est_b = 0.0, ci_b = 0.0;
+  world.run([&](comm::Comm& comm) {
+    for (int pass = 0; pass < 2; ++pass) {
+      ScdStage stage(geo, params, 8, 42);
+      stage.set_window(3, kMidCoalescenceBudgetS);
+      core::StageState state = scattered_vacancies();
+      core::StageClock clock;
+      stage.advance(comm, state, clock);
+      (pass == 0 ? est_a : est_b) = state.sampled.est_clusters;
+      (pass == 0 ? ci_a : ci_b) = state.sampled.ci_halfwidth;
+    }
+  });
+  EXPECT_EQ(est_a, est_b);
+  EXPECT_EQ(ci_a, ci_b);
+}
+
+}  // namespace
+}  // namespace mmd::kmc

@@ -10,6 +10,7 @@
 //   mmd_run config.mmd --checkpoint-dir=ckpt --checkpoint-every=10
 //   mmd_run config.mmd --checkpoint-dir=ckpt --resume
 //   mmd_run --print-defaults > config.mmd
+//   mmd_run --help
 //
 // --trace-out writes a Chrome-trace JSON (load in chrome://tracing or
 // ui.perfetto.dev) with per-rank MD/KMC phase spans; --metrics-out writes the
@@ -52,6 +53,7 @@
 
 #include "core/scenario.h"
 #include "core/simulation.h"
+#include "lattice/geometry.h"
 #include "telemetry/analysis.h"
 #include "telemetry/comm_trace.h"
 #include "telemetry/export.h"
@@ -68,6 +70,36 @@ void print_defaults() {
       "%s"
       "xyz           =          # optional: write final KMC sites as .xyz\n",
       core::scenario_defaults_text().c_str());
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: mmd_run <config-file> [--trace-out=FILE] "
+               "[--metrics-out=FILE]\n"
+               "               [--comm-trace-out=FILE] [--perf-report[=FILE]]\n"
+               "               [--checkpoint-dir=DIR] "
+               "[--checkpoint-every=CYCLES] [--resume]\n"
+               "       mmd_run --print-defaults\n"
+               "       mmd_run --help\n");
+}
+
+void print_help() {
+  print_usage(stdout);
+  std::printf(
+      "\nRun the coupled MD-KMC metal-damage simulation described by the\n"
+      "key=value <config-file> (see --print-defaults for the schema and\n"
+      "docs/SAMPLING.md for the sampled long-time mode, sample.*).\n"
+      "\noptions:\n"
+      "  --trace-out=FILE         Chrome-trace JSON of per-rank phase spans\n"
+      "  --metrics-out=FILE       flat metrics JSON (counters/gauges/timings)\n"
+      "  --comm-trace-out=FILE    comm flight-recorder binary trace\n"
+      "  --perf-report[=FILE]     per-phase critical-path analysis (stdout;\n"
+      "                           with =FILE also the versioned JSON form)\n"
+      "  --checkpoint-dir=DIR     per-rank checkpoint directory\n"
+      "  --checkpoint-every=N     KMC cycles between checkpoint epochs\n"
+      "  --resume                 restart from the newest committed epoch\n"
+      "  --print-defaults         print the configuration schema and exit\n"
+      "  --help                   this text\n");
 }
 
 }  // namespace
@@ -87,6 +119,9 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--print-defaults") {
       print_defaults();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      print_help();
       return 0;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
@@ -115,13 +150,7 @@ int main(int argc, char** argv) {
     }
   }
   if (usage_error || config_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: mmd_run <config-file> [--trace-out=FILE] "
-                 "[--metrics-out=FILE]\n"
-                 "               [--comm-trace-out=FILE] [--perf-report[=FILE]]\n"
-                 "               [--checkpoint-dir=DIR] "
-                 "[--checkpoint-every=CYCLES] [--resume]\n"
-                 "       mmd_run --print-defaults\n");
+    print_usage(stderr);
     return 2;
   }
 
